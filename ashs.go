@@ -1,0 +1,284 @@
+// Package ashs is a library reproduction of "ASHs: Application-Specific
+// Handlers for High-Performance Messaging" (Wallach, Engler & Kaashoek,
+// SIGCOMM'96 / IEEE ToN 1997).
+//
+// It implements, in simulation, the complete system the paper describes:
+// an exokernel (Aegis) with two network devices (a 155-Mb/s AN2 ATM switch
+// and a 10-Mb/s Ethernet exported through the DPF packet-filter engine),
+// the ASH system itself (safe downloaded message handlers with dynamic
+// message vectoring, message initiation, and control initiation), dynamic
+// integrated layer processing built on VCODE-style pipes, a Wahbe-style
+// sandboxer/verifier, and the user-level protocol suite (ARP, IP, UDP,
+// TCP with a downloadable fast path, HTTP) the paper evaluates.
+//
+// The package root is a facade: it wires a ready-to-use two-host testbed
+// and re-exports the building blocks. The typical flow mirrors the paper's
+// (Section II): write a handler against the vcode builder, download it
+// (verification + sandboxing), associate it with a demultiplexing point,
+// and let it run on message arrival:
+//
+//	w := ashs.NewAN2World()
+//	app := w.Host2.Spawn("app", func(p *ashs.Process) { ... })
+//	ash, err := w.Host2ASH.Download(app, prog, ashs.ASHOptions{})
+//	binding, _ := w.AN2Host2.BindVC(app, 7, 8, 4096)
+//	ash.AttachVC(binding)
+//	w.Run()
+//
+// Everything runs on a deterministic discrete-event simulation of a pair
+// of 40-MHz DECstation 5000/240s; time costs are calibrated against the
+// paper's base measurements (see DESIGN.md).
+package ashs
+
+import (
+	"ashs/internal/aegis"
+	"ashs/internal/bench"
+	"ashs/internal/core"
+	"ashs/internal/dpf"
+	"ashs/internal/mach"
+	"ashs/internal/pipe"
+	"ashs/internal/proto/arp"
+	"ashs/internal/proto/http"
+	"ashs/internal/proto/ip"
+	"ashs/internal/proto/link"
+	"ashs/internal/proto/tcp"
+	"ashs/internal/proto/udp"
+	"ashs/internal/sim"
+	"ashs/internal/vcode"
+)
+
+// Re-exported core types. The simulated OS:
+type (
+	// Engine is the discrete-event simulation engine driving a world.
+	Engine = sim.Engine
+	// Time is virtual time in CPU cycles of the simulated machine.
+	Time = sim.Time
+	// Kernel is one simulated host (an Aegis exokernel instance).
+	Kernel = aegis.Kernel
+	// Process is a simulated application process.
+	Process = aegis.Process
+	// Segment is a memory allocation in a process's address space.
+	Segment = aegis.Segment
+	// Ring is a kernel/user shared notification ring.
+	Ring = aegis.Ring
+	// VCBinding is a process's binding to an AN2 virtual circuit.
+	VCBinding = aegis.VCBinding
+	// EthBinding is a process's DPF filter binding on the Ethernet.
+	EthBinding = aegis.EthBinding
+	// MsgCtx is the execution context of a message handler.
+	MsgCtx = aegis.MsgCtx
+	// Disposition is a handler's verdict on a message.
+	Disposition = aegis.Disposition
+	// Upcall is a fast asynchronous upcall handler.
+	Upcall = aegis.Upcall
+	// Profile is the machine cost model.
+	Profile = mach.Profile
+)
+
+// The ASH system:
+type (
+	// ASHSystem downloads, verifies, sandboxes and runs handlers.
+	ASHSystem = core.System
+	// ASH is an installed handler (vcode object code).
+	ASH = core.ASH
+	// FuncASH is a Go-native handler with modeled costs.
+	FuncASH = core.FuncASH
+	// ASHOptions configures a download.
+	ASHOptions = core.Options
+	// HandlerCtx is the environment of a Go-native handler.
+	HandlerCtx = core.Ctx
+)
+
+// Handler code and pipes:
+type (
+	// CodeBuilder assembles handler object code (VCODE-style).
+	CodeBuilder = vcode.Builder
+	// Program is assembled handler code.
+	Program = vcode.Program
+	// Reg is a machine register.
+	Reg = vcode.Reg
+	// PipeList collects pipes for dynamic ILP composition.
+	PipeList = pipe.List
+	// Pipe is one streaming data manipulation.
+	Pipe = pipe.Pipe
+	// TransferEngine is a compiled integrated data-transfer loop.
+	TransferEngine = pipe.Engine
+	// Filter is a DPF packet filter.
+	Filter = dpf.Filter
+)
+
+// Handler dispositions.
+const (
+	Consumed = aegis.DispConsumed
+	ToUser   = aegis.DispToUser
+)
+
+// Handler calling convention registers (see internal/vcode): a handler is
+// entered with the message address in RArg0, its length in RArg1, the
+// virtual circuit in RArg2, and the source address in RArg3; it returns 0
+// in RRet to consume the message, nonzero to pass it to the user level.
+const (
+	RRet  = vcode.RRet
+	RArg0 = vcode.RArg0
+	RArg1 = vcode.RArg1
+	RArg2 = vcode.RArg2
+	RArg3 = vcode.RArg3
+)
+
+// NewCodeBuilder starts a handler program named name.
+func NewCodeBuilder(name string) *CodeBuilder { return vcode.NewBuilder(name) }
+
+// NewPipeList initializes a pipe list with the given capacity hint.
+func NewPipeList(capacity int) *PipeList { return pipe.NewList(capacity) }
+
+// CksumPipe declares the paper's Fig. 2 Internet-checksum pipe; it returns
+// the pipe and its accumulator register.
+func CksumPipe(l *PipeList) (*Pipe, Reg, error) { return pipe.Cksum(l) }
+
+// ByteswapPipe declares the byteswap pipe of Fig. 1.
+func ByteswapPipe(l *PipeList) (*Pipe, error) { return pipe.Byteswap(l) }
+
+// CompilePipes fuses a pipe list into an integrated transfer engine
+// (dynamic ILP). withOutput selects a copying engine.
+func CompilePipes(l *PipeList, withOutput bool) (*TransferEngine, error) {
+	return pipe.Compile(l, pipe.Options{Output: withOutput})
+}
+
+// NewFilter builds an empty DPF packet filter.
+func NewFilter() *Filter { return dpf.NewFilter() }
+
+// World is a ready-made two-host testbed: two DECstations connected by a
+// network, each with an ASH system.
+type World struct {
+	tb *bench.Testbed
+
+	Eng          *Engine
+	Prof         *Profile
+	Host1, Host2 *Kernel
+	// AN2Host1/2 are set on AN2 worlds; EthHost1/2 on Ethernet worlds.
+	AN2Host1, AN2Host2 *aegis.AN2If
+	EthHost1, EthHost2 *aegis.EthernetIf
+	ASH1, ASH2         *ASHSystem
+	IP1, IP2           ip.Addr
+}
+
+// NewAN2World builds two hosts on an AN2 switch.
+func NewAN2World() *World {
+	tb := bench.NewAN2Testbed()
+	return &World{tb: tb, Eng: tb.Eng, Prof: tb.Prof,
+		Host1: tb.K1, Host2: tb.K2,
+		AN2Host1: tb.A1, AN2Host2: tb.A2,
+		ASH1: tb.Sys1, ASH2: tb.Sys2,
+		IP1: tb.IP1, IP2: tb.IP2}
+}
+
+// NewEthernetWorld builds two hosts on an Ethernet segment.
+func NewEthernetWorld() *World {
+	tb := bench.NewEthernetTestbed()
+	return &World{tb: tb, Eng: tb.Eng, Prof: tb.Prof,
+		Host1: tb.K1, Host2: tb.K2,
+		EthHost1: tb.E1, EthHost2: tb.E2,
+		ASH1: tb.Sys1, ASH2: tb.Sys2,
+		IP1: tb.IP1, IP2: tb.IP2}
+}
+
+// Run drives the simulation until no work remains.
+func (w *World) Run() { w.Eng.Run() }
+
+// RunFor advances the simulation by us microseconds of virtual time.
+func (w *World) RunFor(us float64) { w.Eng.RunFor(w.Prof.Cycles(us)) }
+
+// Us converts virtual cycles to microseconds.
+func (w *World) Us(t Time) float64 { return w.Prof.Us(t) }
+
+// IPStackAN2 builds a user-level IP stack over a fresh AN2 virtual
+// circuit for process p on host 1 or 2 (the paper's user-level protocol
+// library arrangement).
+func (w *World) IPStackAN2(p *Process, host, vc int) *ip.Stack {
+	return w.tb.StackAN2(p, host, vc)
+}
+
+// StartARP launches an ARP daemon on an Ethernet host and returns it (it
+// implements the stack's resolver).
+func (w *World) StartARP(host int) (*arp.Service, error) {
+	if host == 1 {
+		return arp.Start(w.Host1, w.EthHost1, w.IP1)
+	}
+	return arp.Start(w.Host2, w.EthHost2, w.IP2)
+}
+
+// IPStackEthernet builds a user-level IP stack over the Ethernet for a
+// given transport protocol and local port, demultiplexed by a DPF filter.
+func (w *World) IPStackEthernet(p *Process, host int, proto byte, port uint16, svc *arp.Service) *ip.Stack {
+	return w.tb.EthStack(p, host, proto, port, svc)
+}
+
+// Protocol facade re-exports.
+type (
+	// IPAddr is an IPv4 address.
+	IPAddr = ip.Addr
+	// IPStack is the user-level IPv4 library.
+	IPStack = ip.Stack
+	// UDPSocket is a bound UDP endpoint.
+	UDPSocket = udp.Socket
+	// UDPOptions selects the UDP receive discipline.
+	UDPOptions = udp.Options
+	// TCPConn is a TCP connection endpoint.
+	TCPConn = tcp.Conn
+	// TCPConfig parameterizes a connection (including handler placement).
+	TCPConfig = tcp.Config
+	// TCPMode selects where the TCP fast path runs.
+	TCPMode = tcp.Mode
+	// HTTPServer is the minimal HTTP/1.0 server.
+	HTTPServer = http.Server
+	// HTTPResponse is a parsed HTTP response.
+	HTTPResponse = http.Response
+	// LinkEndpoint is a raw network attachment.
+	LinkEndpoint = link.Endpoint
+	// LinkAddr is a link-level address.
+	LinkAddr = link.Addr
+)
+
+// TCP fast-path placements (Table VI's columns).
+const (
+	TCPUser      = tcp.ModeUser
+	TCPASH       = tcp.ModeASH
+	TCPASHUnsafe = tcp.ModeASHUnsafe
+	TCPUpcall    = tcp.ModeUpcall
+)
+
+// NewUDPSocket binds a UDP socket on stack st.
+func NewUDPSocket(st *IPStack, port uint16, opts UDPOptions) *UDPSocket {
+	return udp.NewSocket(st, port, opts)
+}
+
+// DefaultTCPConfig returns the paper's AN2 TCP parameters (MSS 3072,
+// window 8 KB, checksums on).
+func DefaultTCPConfig() TCPConfig { return tcp.DefaultConfig() }
+
+// TCPConnect performs an active open.
+func TCPConnect(st *IPStack, cfg TCPConfig, localPort uint16, remote IPAddr, remotePort uint16) (*TCPConn, error) {
+	return tcp.Connect(st, cfg, localPort, remote, remotePort)
+}
+
+// TCPAccept performs a passive open.
+func TCPAccept(st *IPStack, cfg TCPConfig, localPort uint16) (*TCPConn, error) {
+	return tcp.Accept(st, cfg, localPort)
+}
+
+// HTTPGet performs one GET over an established connection.
+func HTTPGet(conn *TCPConn, path string) (*HTTPResponse, error) {
+	return http.Get(conn, path)
+}
+
+// DECstation returns the calibrated machine profile used by all worlds.
+func DECstation() *Profile { return mach.DS5000_240() }
+
+// V4 builds an IPv4 address.
+func V4(a, b, c, d byte) IPAddr { return ip.V4(a, b, c, d) }
+
+// Experiment re-exports: the bench package regenerates every table and
+// figure of the paper; see cmd/ashbench.
+type (
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = bench.Table
+)

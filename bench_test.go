@@ -1,0 +1,125 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment on the
+// simulated testbed and reports the headline values as custom metrics
+// (simulated microseconds and MB/s — wall-clock ns/op measures only how
+// fast the simulator itself runs).
+//
+//	go test -bench=. -benchmem
+//
+// The cmd/ashbench command prints the same experiments as full
+// paper-formatted tables with the paper's values alongside.
+package ashs
+
+import (
+	"testing"
+
+	"ashs/internal/bench"
+)
+
+func BenchmarkTable1RawLatency(b *testing.B) {
+	var t bench.Table1
+	for i := 0; i < b.N; i++ {
+		t = bench.RunTable1(10)
+	}
+	b.ReportMetric(t.InKernelAN2, "us-inkernel")
+	b.ReportMetric(t.UserAN2, "us-user")
+	b.ReportMetric(t.Ethernet, "us-ether")
+}
+
+func BenchmarkFig3Throughput(b *testing.B) {
+	var f bench.Fig3
+	for i := 0; i < b.N; i++ {
+		f = bench.RunFig3(32)
+	}
+	last := f.Points[len(f.Points)-1]
+	b.ReportMetric(last.MBps, "MBps-4KB")
+	b.ReportMetric(f.Points[0].MBps, "MBps-16B")
+}
+
+func BenchmarkTable2UDPTCP(b *testing.B) {
+	p := bench.Table2Params{LatIters: 6, UDPTrains: 8, TCPBytes: 1 << 20}
+	var t bench.Table2
+	for i := 0; i < b.N; i++ {
+		t = bench.RunTable2(p)
+	}
+	b.ReportMetric(t.Rows[0].UDPLat, "us-udp-inplace")
+	b.ReportMetric(t.Rows[3].UDPLat, "us-udp-cksum")
+	b.ReportMetric(t.Rows[0].TCPLat, "us-tcp-inplace")
+	b.ReportMetric(t.Rows[3].TCPTput, "MBps-tcp-cksum")
+}
+
+func BenchmarkTable3Copies(b *testing.B) {
+	var t bench.Table3
+	for i := 0; i < b.N; i++ {
+		t = bench.RunTable3()
+	}
+	b.ReportMetric(t.SingleCopy, "MBps-single")
+	b.ReportMetric(t.DoubleCopy, "MBps-double")
+	b.ReportMetric(t.DoubleUncached, "MBps-double-uncached")
+}
+
+func BenchmarkTable4ILP(b *testing.B) {
+	var t bench.Table4
+	for i := 0; i < b.N; i++ {
+		t = bench.RunTable4()
+	}
+	b.ReportMetric(t.Separate[0], "MBps-separate")
+	b.ReportMetric(t.CIntegrated[0], "MBps-hand")
+	b.ReportMetric(t.DILP[0], "MBps-dilp")
+	b.ReportMetric(t.DILP[1], "MBps-dilp-bswap")
+}
+
+func BenchmarkTable5RemoteIncrement(b *testing.B) {
+	var t bench.Table5
+	for i := 0; i < b.N; i++ {
+		t = bench.RunTable5(8)
+	}
+	b.ReportMetric(t.Polling[bench.MechUnsafeASH], "us-unsafe-ash")
+	b.ReportMetric(t.Polling[bench.MechSandboxedASH], "us-sandboxed-ash")
+	b.ReportMetric(t.Polling[bench.MechUpcall], "us-upcall")
+	b.ReportMetric(t.Suspended[bench.MechUserLevel], "us-user-suspended")
+}
+
+func BenchmarkTable6TCPASH(b *testing.B) {
+	p := bench.Table6Params{LatIters: 6, TCPBytes: 1 << 20}
+	var t bench.Table6
+	for i := 0; i < b.N; i++ {
+		t = bench.RunTable6(p)
+	}
+	b.ReportMetric(t.Latency[0], "us-sandboxed-ash")
+	b.ReportMetric(t.Latency[4], "us-user-polling")
+	b.ReportMetric(t.Tput[0], "MBps-sandboxed-ash")
+	b.ReportMetric(t.Tput[3], "MBps-user-interrupt")
+}
+
+func BenchmarkFig4Scheduling(b *testing.B) {
+	var f bench.Fig4
+	for i := 0; i < b.N; i++ {
+		f = bench.RunFig4(6, 4)
+	}
+	last := f.Points[len(f.Points)-1]
+	b.ReportMetric(last.ASH, "us-ash-6procs")
+	b.ReportMetric(last.Oblivious, "us-oblivious-6procs")
+	b.ReportMetric(last.Ultrix, "us-ultrix-6procs")
+}
+
+func BenchmarkSandboxOverhead(b *testing.B) {
+	var r bench.SandboxResult
+	for i := 0; i < b.N; i++ {
+		r = bench.RunSandbox()
+	}
+	b.ReportMetric(float64(r.SpecificInsns), "insns-handcrafted")
+	b.ReportMetric(float64(r.SpecificSandboxInsns), "insns-sandboxed")
+	b.ReportMetric(r.Ratio40, "ratio-40B")
+	b.ReportMetric(r.Ratio4096, "ratio-4096B")
+}
+
+func BenchmarkDPFvsInterpreter(b *testing.B) {
+	var r bench.DPFResult
+	for i := 0; i < b.N; i++ {
+		r = bench.RunDPF()
+	}
+	n := len(r.Filters) - 1
+	b.ReportMetric(r.Trie[n], "us-dpf-64filters")
+	b.ReportMetric(r.Linear[n], "us-interp-64filters")
+}

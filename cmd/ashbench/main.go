@@ -1,0 +1,107 @@
+// Command ashbench regenerates the tables and figures of the paper's
+// evaluation (Sections IV and V) on the simulated testbed and prints them
+// next to the paper's reported values.
+//
+// Usage:
+//
+//	ashbench                     # everything (full workloads; ~a minute)
+//	ashbench -experiment table5  # one experiment
+//	ashbench -quick              # reduced workloads
+//
+// Experiments: table1, fig3, table2, table3, table4, table5, table6,
+// fig4, sandbox, dpf, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ashs/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, all")
+		quick = flag.Bool("quick", false, "reduced workload sizes (faster, slightly noisier throughput)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, fn func()) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		fn()
+		fmt.Printf("  [%s ran in %.1fs wall]\n\n", name, time.Since(start).Seconds())
+	}
+
+	fmt.Println("ASHs: Application-Specific Handlers for High-Performance Messaging")
+	fmt.Println("reproduction of the SIGCOMM'96 / ToN'97 evaluation on the simulated testbed")
+	fmt.Println()
+
+	run("table1", func() {
+		fmt.Print(bench.RunTable1(10).Table().Render())
+	})
+	run("fig3", func() {
+		pkts := 64
+		if *quick {
+			pkts = 24
+		}
+		fmt.Print(bench.RunFig3(pkts).Render())
+	})
+	run("table2", func() {
+		p := bench.DefaultTable2Params()
+		if *quick {
+			p.TCPBytes = 2 << 20
+			p.UDPTrains = 10
+		}
+		fmt.Print(bench.RunTable2(p).Table().Render())
+	})
+	run("table3", func() {
+		fmt.Print(bench.RunTable3().Table().Render())
+	})
+	run("table4", func() {
+		fmt.Print(bench.RunTable4().Table().Render())
+	})
+	run("table5", func() {
+		fmt.Print(bench.RunTable5(10).Table().Render())
+	})
+	run("table6", func() {
+		p := bench.DefaultTable6Params()
+		if *quick {
+			p.TCPBytes = 2 << 20
+		}
+		fmt.Print(bench.RunTable6(p).Table().Render())
+	})
+	run("fig4", func() {
+		iters := 8
+		if *quick {
+			iters = 4
+		}
+		fmt.Print(bench.RunFig4(10, iters).Render())
+	})
+	run("sandbox", func() {
+		fmt.Print(bench.RunSandbox().Table().Render())
+	})
+	run("dpf", func() {
+		fmt.Print(bench.RunDPF().Table().Render())
+	})
+	run("ablation", func() {
+		fmt.Print(bench.RunAblation().Table().Render())
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

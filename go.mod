@@ -1,0 +1,3 @@
+module ashs
+
+go 1.22

@@ -1,0 +1,323 @@
+package aegis
+
+import (
+	"fmt"
+
+	"ashs/internal/netdev"
+	"ashs/internal/sim"
+)
+
+// Disposition is what a downloaded handler did with a message: from the
+// kernel's point of view an ASH "either consumes the message it is given
+// or returns it to the kernel to be handled normally" (Section II).
+type Disposition int
+
+const (
+	// DispConsumed: the handler fully processed the message.
+	DispConsumed Disposition = iota
+	// DispToUser: deliver through the normal user-level path (the TCP
+	// handler aborts this way when header prediction fails).
+	DispToUser
+)
+
+// MsgHandler is the kernel's hook for downloaded message handlers. The ASH
+// system (package core) implements it; so does the in-kernel hardwired
+// handler used for Table I's first row.
+type MsgHandler interface {
+	// HandleMsg runs at message arrival, in the addressing context of the
+	// owning process. All costs are charged through the context.
+	HandleMsg(mc *MsgCtx) Disposition
+}
+
+// MsgCtx is the environment a message handler (ASH, upcall, or in-kernel
+// code) runs in. It accumulates cycle costs; effects the handler initiates
+// (sends, ring pushes) take place at arrival-time + accumulated-cost, so
+// handler work is properly serialized on the virtual clock.
+type MsgCtx struct {
+	K     *Kernel
+	Owner *Process // owning process (addressing context); nil for in-kernel
+	Entry RingEntry
+	VC    int
+	Src   int
+
+	iface *AN2If
+	ether *EthernetIf
+	ring  *Ring // the binding's notification ring (for doorbells)
+	t0    sim.Time
+	cost  sim.Time
+
+	// userLevel is set while an upcall handler runs: sends then go through
+	// the system call interface rather than straight to the driver.
+	userLevel bool
+
+	// sends queues messages the handler initiated. They are released when
+	// the handler commits (returns), at the path's completion time — an
+	// aborted handler must not have sent (the commit/abort discipline of
+	// Section II-A).
+	sends []queuedSend
+}
+
+type queuedSend struct {
+	dst, vc int
+	data    []byte
+}
+
+// Charge adds handler cycles.
+func (mc *MsgCtx) Charge(c sim.Time) { mc.cost += c }
+
+// Cost reports cycles accumulated so far on this receive path.
+func (mc *MsgCtx) Cost() sim.Time { return mc.cost }
+
+// When reports the virtual time at which the path's work completes.
+func (mc *MsgCtx) When() sim.Time { return mc.t0 + mc.cost }
+
+// Data returns the received bytes (the DMA'd message in the owner's
+// buffer). Handlers performing modeled data access must charge separately.
+func (mc *MsgCtx) Data() []byte {
+	return mc.K.Bytes(mc.Entry.Addr, mc.Entry.Len)
+}
+
+// Send initiates a message from the handler ("ASHs can send messages...
+// allowing low-latency message replies"). The transmit setup is charged
+// now; the packet is released when the handler commits.
+func (mc *MsgCtx) Send(dst, vc int, data []byte) {
+	if mc.userLevel {
+		// Upcall handlers send from user level: full system call.
+		mc.Charge(sim.Time(mc.K.Prof.SyscallCycles))
+	}
+	mc.Charge(sim.Time(mc.K.Prof.DeviceTxSetup))
+	buf := append([]byte(nil), data...)
+	mc.sends = append(mc.sends, queuedSend{dst: dst, vc: vc, data: buf})
+}
+
+// commitSends releases queued sends at the path's completion time.
+func (mc *MsgCtx) commitSends() {
+	if len(mc.sends) == 0 {
+		return
+	}
+	var port *netdev.Port
+	if mc.iface != nil {
+		port = mc.iface.Port
+	} else {
+		port = mc.ether.Port
+	}
+	sends := mc.sends
+	mc.sends = nil
+	mc.K.Eng.ScheduleAt(mc.When(), func() {
+		for _, qs := range sends {
+			_ = port.Transmit(&netdev.Packet{Dst: qs.dst, VC: qs.vc, Data: qs.data})
+		}
+	})
+}
+
+// abortSends discards queued sends (the handler aborted).
+func (mc *MsgCtx) abortSends() { mc.sends = nil }
+
+// Doorbell pushes a zero-length notification onto the owning binding's
+// ring at path-completion time: a handler that consumed a message uses it
+// to tell the user-level library to re-examine shared state. The ring
+// update is charged like any other.
+func (mc *MsgCtx) Doorbell() {
+	if mc.ring == nil {
+		return
+	}
+	mc.Charge(sim.Time(mc.K.Prof.RingUpdateCycles))
+	ring := mc.ring
+	wakeExtra := sim.Time(mc.K.Prof.SchedDecision)
+	mc.K.Eng.ScheduleAt(mc.When(), func() {
+		ring.push(RingEntry{Len: 0, BufIndex: -1}, wakeExtra)
+	})
+}
+
+// SyntheticMsg fabricates a message context for running a handler in
+// isolation — the paper's Section V-D methodology: "we take this
+// measurement in isolation, without the cost of communication, but with
+// both ASHs running in the kernel". The message is assumed already in
+// memory at entry.Addr.
+func SyntheticMsg(k *Kernel, owner *Process, entry RingEntry) *MsgCtx {
+	return &MsgCtx{K: k, Owner: owner, Entry: entry, VC: entry.VC, Src: entry.Src,
+		t0: k.Eng.Now()}
+}
+
+// --------------------------------------------------------------------
+// AN2 (ATM) interface
+// --------------------------------------------------------------------
+
+// VCBinding is a process's binding to an AN2 virtual circuit: its receive
+// buffers, its notification ring, and optionally a downloaded handler or
+// an upcall (Section IV-A).
+type VCBinding struct {
+	VC      int
+	Owner   *Process
+	Ring    *Ring
+	Handler MsgHandler
+	Upcall  *Upcall
+
+	// InKernel marks the hardwired kernel-level endpoint used for the
+	// in-kernel row of Table I: a polled driver loop with no interrupt,
+	// demux, or user-level delivery costs.
+	InKernel bool
+	// InKernelRx, when InKernel, handles the message.
+	InKernelRx func(mc *MsgCtx)
+
+	iface    *AN2If
+	bufs     []Segment
+	freeBufs []int
+
+	// DroppedNoBuf counts messages lost to receive-buffer exhaustion;
+	// DroppedTooBig counts messages larger than the bound buffers.
+	DroppedNoBuf  uint64
+	DroppedTooBig uint64
+}
+
+// AN2If is the AN2 driver instance for one host.
+type AN2If struct {
+	K    *Kernel
+	Port *netdev.Port
+	Sw   *netdev.Switch
+
+	vcs map[int]*VCBinding
+
+	// DroppedNoVC counts messages to unbound circuits.
+	DroppedNoVC uint64
+}
+
+// NewAN2 attaches an AN2 interface to host k on switch sw.
+func NewAN2(k *Kernel, sw *netdev.Switch) *AN2If {
+	a := &AN2If{K: k, Port: sw.NewPort(), Sw: sw, vcs: map[int]*VCBinding{}}
+	a.Port.SetReceiver(a.receive)
+	return a
+}
+
+// Addr is this host's address on the AN2 switch.
+func (a *AN2If) Addr() int { return a.Port.Addr() }
+
+// MaxFrame is the largest payload one packet can carry.
+func (a *AN2If) MaxFrame() int { return a.Sw.Cfg.MaxFrame }
+
+// BindVC binds a virtual circuit for process p with nbufs receive buffers
+// of bufSize bytes, allocated in p's address space ("providing a section
+// of their memory for messages to be DMA'ed to"). For in-kernel endpoints
+// pass p == nil and buffers land in kernel memory.
+func (a *AN2If) BindVC(p *Process, vc, nbufs, bufSize int) (*VCBinding, error) {
+	if _, dup := a.vcs[vc]; dup {
+		return nil, fmt.Errorf("aegis %s: VC %d already bound", a.K.Name, vc)
+	}
+	b := &VCBinding{VC: vc, Owner: p, Ring: NewRing(a.K), iface: a}
+	for i := 0; i < nbufs; i++ {
+		var seg Segment
+		if p != nil {
+			seg = p.AS.Alloc(bufSize, fmt.Sprintf("an2-rx-vc%d-%d", vc, i))
+		} else {
+			base := a.K.AllocPhys(bufSize, fmt.Sprintf("an2-krx-vc%d-%d", vc, i))
+			seg = Segment{Base: base, Len: uint32(bufSize)}
+		}
+		b.bufs = append(b.bufs, seg)
+		b.freeBufs = append(b.freeBufs, i)
+	}
+	a.vcs[vc] = b
+	return b, nil
+}
+
+// FreeBuf returns a receive buffer to the DMA pool ("the application is
+// allowed to use those message buffers directly, as long as it eventually
+// returns or replaces them"). The caller pays BufferMgmtCycles separately
+// (user code via Process.Compute, handlers via MsgCtx.Charge).
+func (b *VCBinding) FreeBuf(idx int) {
+	b.freeBufs = append(b.freeBufs, idx)
+}
+
+// receive is the arrival path (event context, at DMA-complete time).
+func (a *AN2If) receive(pkt *netdev.Packet) {
+	a.K.Interrupts++
+	b := a.vcs[pkt.VC]
+	if b == nil {
+		a.DroppedNoVC++
+		return
+	}
+	if len(b.freeBufs) == 0 {
+		b.DroppedNoBuf++
+		return
+	}
+	bufIdx := b.freeBufs[0]
+	seg := b.bufs[bufIdx]
+	n := len(pkt.Data)
+	if uint32(n) > seg.Len {
+		// The bound receive buffers are too small for this message: the
+		// DMA engine has nowhere to put it.
+		b.DroppedTooBig++
+		return
+	}
+	b.freeBufs = b.freeBufs[1:]
+	// The DMA itself costs no CPU; the driver then flushes the cache over
+	// the message location "to ensure consistency after the DMA".
+	copy(a.K.Bytes(seg.Base, n), pkt.Data[:n])
+	a.K.Cache.FlushRange(seg.Base, n)
+
+	mc := &MsgCtx{
+		K: a.K, Owner: b.Owner, VC: pkt.VC, Src: pkt.Src, iface: a, ring: b.Ring,
+		Entry: RingEntry{Addr: seg.Base, Len: n, VC: pkt.VC, Src: pkt.Src, BufIndex: bufIdx},
+		t0:    a.K.kernStart(),
+	}
+	defer func() { a.K.kernBusyUntil = mc.When() }()
+
+	prof := a.K.Prof
+	switch {
+	case b.InKernel:
+		// Hardwired kernel endpoint: polled driver loop.
+		mc.Charge(sim.Time(prof.KernelPollCycles + prof.DeviceRxService))
+		b.InKernelRx(mc)
+		mc.commitSends()
+		b.FreeBuf(bufIdx)
+		return
+	default:
+		mc.Charge(sim.Time(prof.InterruptCycles + prof.DeviceRxService + prof.DemuxVCCycles))
+	}
+
+	// "ASHs are invoked directly from the AN2 device driver, just after it
+	// performs a software cache flush of the message location."
+	if b.Handler != nil {
+		mc.Charge(sim.Time(prof.ASHDispatch))
+		if b.Handler.HandleMsg(mc) == DispConsumed {
+			mc.commitSends()
+			b.FreeBuf(bufIdx)
+			return
+		}
+		mc.abortSends()
+	}
+	if b.Upcall != nil {
+		if b.Upcall.dispatch(mc) == DispConsumed {
+			mc.commitSends()
+			b.FreeBuf(bufIdx)
+			return
+		}
+		mc.abortSends()
+	}
+	a.deliverToUser(b, mc)
+}
+
+// deliverToUser pushes a ring notification at path-completion time and
+// wakes a blocked owner (charging the wake/schedule path).
+func (a *AN2If) deliverToUser(b *VCBinding, mc *MsgCtx) {
+	prof := a.K.Prof
+	mc.Charge(sim.Time(prof.RingUpdateCycles))
+	wakeExtra := sim.Time(prof.SchedDecision)
+	a.K.Eng.ScheduleAt(mc.When(), func() {
+		b.Ring.push(mc.Entry, wakeExtra)
+	})
+}
+
+// Send transmits from process p over vc: the user-level transmission path
+// through the full system call interface plus device setup.
+func (a *AN2If) Send(p *Process, dst, vc int, data []byte) {
+	p.Syscall(sim.Time(a.K.Prof.DeviceTxSetup))
+	buf := append([]byte(nil), data...)
+	_ = a.Port.Transmit(&netdev.Packet{Dst: dst, VC: vc, Data: buf})
+}
+
+// KernelSend transmits from kernel context (in-kernel endpoints): device
+// setup only, no system call.
+func (a *AN2If) KernelSend(dst, vc int, data []byte) {
+	buf := append([]byte(nil), data...)
+	_ = a.Port.Transmit(&netdev.Packet{Dst: dst, VC: vc, Data: buf})
+}

@@ -1,0 +1,195 @@
+package aegis
+
+import (
+	"fmt"
+
+	"ashs/internal/dpf"
+	"ashs/internal/netdev"
+	"ashs/internal/sim"
+)
+
+// EthBinding is a process's claim on a class of Ethernet frames, expressed
+// as a DPF packet filter (Section IV-A: "the Ethernet device is securely
+// exported by a packet filter engine").
+type EthBinding struct {
+	ID      dpf.FilterID
+	Owner   *Process
+	Ring    *Ring
+	Handler MsgHandler
+	Upcall  *Upcall
+
+	ether *EthernetIf
+}
+
+// EthernetIf is the Ethernet driver for one host. Unlike the AN2, the
+// device's receive buffers are a limited kernel-owned pool ("the network
+// buffers available to the device to receive into are limited, and
+// therefore a message must not stay in them very long... at least one copy
+// is always necessary"), and its DMA engine *stripes* an N-byte packet
+// into a 2N-byte buffer as alternating 16-byte data and pad lines
+// (Section III-C).
+type EthernetIf struct {
+	K    *Kernel
+	Port *netdev.Port
+	Sw   *netdev.Switch
+
+	engine   *dpf.Engine
+	bindings map[dpf.FilterID]*EthBinding
+
+	bufs     []Segment // striped kernel receive buffers (2x MTU each)
+	freeBufs []int
+
+	// DroppedNoFilter and DroppedNoBuf count losses.
+	DroppedNoFilter uint64
+	DroppedNoBuf    uint64
+}
+
+// EthRxBuffers is the size of the device's receive pool.
+const EthRxBuffers = 32
+
+// StripeChunk is the data-line size of the striping DMA engine.
+const StripeChunk = 16
+
+// NewEthernet attaches an Ethernet interface to host k on switch sw.
+func NewEthernet(k *Kernel, sw *netdev.Switch) *EthernetIf {
+	e := &EthernetIf{
+		K: k, Port: sw.NewPort(), Sw: sw,
+		engine:   dpf.NewEngine(),
+		bindings: map[dpf.FilterID]*EthBinding{},
+	}
+	bufSize := 2 * (sw.Cfg.MaxFrame + StripeChunk)
+	for i := 0; i < EthRxBuffers; i++ {
+		base := k.AllocPhys(bufSize, fmt.Sprintf("eth-rx-%d", i))
+		e.bufs = append(e.bufs, Segment{Base: base, Len: uint32(bufSize)})
+		e.freeBufs = append(e.freeBufs, i)
+	}
+	e.Port.SetReceiver(e.receive)
+	return e
+}
+
+// Addr is this host's address on the Ethernet segment.
+func (e *EthernetIf) Addr() int { return e.Port.Addr() }
+
+// MaxFrame is the largest payload one frame can carry.
+func (e *EthernetIf) MaxFrame() int { return e.Sw.Cfg.MaxFrame }
+
+// BindFilter installs filter f for process p. When the DPF engine accepts
+// a frame for f, it is delivered to this binding.
+func (e *EthernetIf) BindFilter(p *Process, f *dpf.Filter) (*EthBinding, error) {
+	id, err := e.engine.Insert(f)
+	if err != nil {
+		return nil, err
+	}
+	b := &EthBinding{ID: id, Owner: p, Ring: NewRing(e.K), ether: e}
+	e.bindings[id] = b
+	return b, nil
+}
+
+// UnbindFilter removes a binding.
+func (e *EthernetIf) UnbindFilter(b *EthBinding) error {
+	delete(e.bindings, b.ID)
+	return e.engine.Remove(b.ID)
+}
+
+// Stripe writes frame into buf in the device's striped layout: 16 bytes of
+// data, 16 bytes of padding, repeating.
+func Stripe(buf, frame []byte) {
+	for off := 0; off < len(frame); off += StripeChunk {
+		end := off + StripeChunk
+		if end > len(frame) {
+			end = len(frame)
+		}
+		copy(buf[2*off:], frame[off:end])
+	}
+}
+
+// Unstripe reads n data bytes back out of a striped buffer.
+func Unstripe(dst, buf []byte, n int) {
+	for off := 0; off < n; off += StripeChunk {
+		end := off + StripeChunk
+		if end > n {
+			end = n
+		}
+		copy(dst[off:end], buf[2*off:])
+	}
+}
+
+// StripedIndex maps a data offset to its offset inside a striped buffer.
+func StripedIndex(off int) int {
+	return 2*(off/StripeChunk)*StripeChunk + off%StripeChunk
+}
+
+// receive is the frame arrival path.
+func (e *EthernetIf) receive(pkt *netdev.Packet) {
+	e.K.Interrupts++
+	prof := e.K.Prof
+
+	// Demultiplex with the compiled DPF trie.
+	id, demuxCycles, ok := e.engine.Demux(pkt.Data)
+	if !ok {
+		e.DroppedNoFilter++
+		return
+	}
+	b := e.bindings[id]
+	if len(e.freeBufs) == 0 {
+		e.DroppedNoBuf++
+		return
+	}
+	bufIdx := e.freeBufs[0]
+	e.freeBufs = e.freeBufs[1:]
+	seg := e.bufs[bufIdx]
+
+	// Striping DMA into the kernel buffer, then the driver's software
+	// cache flush over the landing area.
+	n := len(pkt.Data)
+	buf := e.K.Bytes(seg.Base, int(seg.Len))
+	Stripe(buf, pkt.Data)
+	e.K.Cache.FlushRange(seg.Base, 2*n)
+
+	mc := &MsgCtx{
+		K: e.K, Owner: b.Owner, Src: pkt.Src, ether: e, ring: b.Ring,
+		Entry: RingEntry{Addr: seg.Base, Len: n, Src: pkt.Src, BufIndex: bufIdx},
+		t0:    e.K.kernStart(),
+	}
+	defer func() { e.K.kernBusyUntil = mc.When() }()
+	mc.Charge(sim.Time(prof.InterruptCycles+prof.DeviceRxService) + demuxCycles)
+
+	if b.Handler != nil {
+		mc.Charge(sim.Time(prof.ASHDispatch))
+		if b.Handler.HandleMsg(mc) == DispConsumed {
+			mc.commitSends()
+			e.freeBufs = append(e.freeBufs, bufIdx)
+			return
+		}
+		mc.abortSends()
+	}
+	if b.Upcall != nil {
+		if b.Upcall.dispatch(mc) == DispConsumed {
+			mc.commitSends()
+			e.freeBufs = append(e.freeBufs, bufIdx)
+			return
+		}
+		mc.abortSends()
+	}
+	mc.Charge(sim.Time(prof.RingUpdateCycles))
+	wakeExtra := sim.Time(prof.SchedDecision)
+	e.K.Eng.ScheduleAt(mc.When(), func() {
+		b.Ring.push(mc.Entry, wakeExtra)
+	})
+}
+
+// FreeBuf returns a device buffer to the pool. Device buffers are scarce:
+// user code must copy out and free promptly or the device drops frames.
+func (e *EthernetIf) FreeBuf(idx int) { e.freeBufs = append(e.freeBufs, idx) }
+
+// Send transmits a frame from process p (full syscall + device setup).
+func (e *EthernetIf) Send(p *Process, dst int, frame []byte) {
+	p.Syscall(sim.Time(e.K.Prof.DeviceTxSetup))
+	buf := append([]byte(nil), frame...)
+	_ = e.Port.Transmit(&netdev.Packet{Dst: dst, Data: buf})
+}
+
+// Broadcast transmits one frame heard by every other port (ARP-style).
+func (e *EthernetIf) Broadcast(p *Process, frame []byte) {
+	e.Send(p, netdev.Broadcast, frame)
+}

@@ -1,0 +1,152 @@
+// Package aegis simulates the exokernel operating system the ASH system
+// was built in (Section IV-A): protected access to network devices,
+// processes with address spaces, fast kernel crossings, schedulers, and
+// asynchronous upcalls.
+//
+// Every kernel primitive charges calibrated cycle costs from the machine
+// profile against the simulation clock, so end-to-end latencies emerge
+// from the same composition of costs the paper measures: device hardware
+// time + driver work + demultiplexing + (handler | upcall | user-level
+// delivery) + scheduling.
+//
+// One Kernel is one host. Multiple hosts share a sim.Engine and a
+// netdev.Switch to form a testbed.
+package aegis
+
+import (
+	"fmt"
+
+	"ashs/internal/mach"
+	"ashs/internal/sim"
+	"ashs/internal/vcode"
+)
+
+// Kernel is one simulated host: CPU, memory, cache, scheduler, devices.
+type Kernel struct {
+	Name  string
+	Eng   *sim.Engine
+	Prof  *mach.Profile
+	Cache *mach.Cache
+	Mem   *vcode.FlatMem // host physical memory
+	Sched Scheduler
+
+	current      *Process
+	lastOnCPU    *Process
+	dispatchPend bool
+	brk          uint32 // bump allocator
+	procs        []*Process
+
+	// kernBusyUntil serializes kernel receive-path work (interrupt
+	// handling, demultiplexing, downloaded handlers): back-to-back
+	// arrivals queue behind one another on the CPU rather than
+	// overlapping in virtual time.
+	kernBusyUntil sim.Time
+
+	// Statistics.
+	CtxSwitches uint64
+	Interrupts  uint64
+}
+
+// HostMemBase is where simulated physical memory starts. Leaving page 0
+// unmapped catches null-pointer handler bugs.
+const HostMemBase = 0x00100000
+
+// HostMemSize is the amount of simulated physical memory per host.
+const HostMemSize = 8 << 20
+
+// NewKernel boots a host named name on engine eng.
+func NewKernel(name string, eng *sim.Engine, prof *mach.Profile) *Kernel {
+	k := &Kernel{
+		Name:  name,
+		Eng:   eng,
+		Prof:  prof,
+		Cache: mach.NewCache(prof),
+		Mem:   vcode.NewFlatMem(HostMemBase, HostMemSize),
+		brk:   HostMemBase,
+	}
+	k.Sched = NewRoundRobin()
+	return k
+}
+
+// AllocPhys carves n bytes (rounded to a cache line) out of physical
+// memory and returns the base address.
+func (k *Kernel) AllocPhys(n int, why string) uint32 {
+	if n <= 0 {
+		panic("aegis: AllocPhys of nonpositive size")
+	}
+	line := uint32(k.Prof.LineBytes)
+	base := (k.brk + line - 1) &^ (line - 1)
+	if base+uint32(n) > HostMemBase+HostMemSize {
+		panic(fmt.Sprintf("aegis %s: out of physical memory allocating %d for %s", k.Name, n, why))
+	}
+	k.brk = base + uint32(n)
+	return base
+}
+
+// Bytes returns the raw byte view of physical range [addr, addr+n). The
+// capacity is clamped to n so overruns fail loudly instead of silently
+// reading neighboring memory.
+func (k *Kernel) Bytes(addr uint32, n int) []byte {
+	i := addr - k.Mem.Base
+	return k.Mem.Data[i : i+uint32(n) : i+uint32(n)]
+}
+
+// Now reports virtual time.
+func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
+
+// Us converts cycles to microseconds under this host's profile.
+func (k *Kernel) Us(c sim.Time) float64 { return k.Prof.Us(c) }
+
+// maybeDispatch schedules a dispatch pass if the CPU is free.
+func (k *Kernel) maybeDispatch() {
+	if k.current != nil || k.dispatchPend {
+		return
+	}
+	k.dispatchPend = true
+	k.Eng.Schedule(0, k.dispatch)
+}
+
+// dispatch gives the CPU to the next runnable process (event context).
+func (k *Kernel) dispatch() {
+	k.dispatchPend = false
+	if k.current != nil {
+		return
+	}
+	next := k.Sched.Next()
+	if next == nil {
+		return
+	}
+	k.current = next
+	next.state = procRunning
+	next.quantumLeft = sim.Time(k.Prof.QuantumCycles)
+	switchCost := sim.Time(0)
+	if k.lastOnCPU != next && k.lastOnCPU != nil {
+		switchCost = sim.Time(k.Prof.CtxSwitchCycles)
+		k.CtxSwitches++
+	}
+	k.lastOnCPU = next
+	next.pendingCharge += switchCost
+	next.sp.Unpark()
+}
+
+// releaseCPU takes the CPU away from p (which must hold it).
+func (k *Kernel) releaseCPU(p *Process) {
+	if k.current != p {
+		panic("aegis: releaseCPU by non-current process")
+	}
+	k.current = nil
+	k.maybeDispatch()
+}
+
+// Current returns the process on CPU, if any.
+func (k *Kernel) Current() *Process { return k.current }
+
+// kernStart returns the time kernel receive-path work beginning "now" can
+// actually start (behind any in-progress kernel work).
+func (k *Kernel) kernStart() sim.Time {
+	t := k.Eng.Now()
+	if k.kernBusyUntil > t {
+		t = k.kernBusyUntil
+	}
+	return t
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"ashs/internal/aegis"
+	"ashs/internal/core"
+	"ashs/internal/crl"
+	"ashs/internal/sandbox"
+)
+
+// AblationResult compares the safety strategies of Section III-B on the
+// same handler (the trusted remote write, 40-byte payload):
+//
+//   - unsafe: no protection (the baseline);
+//   - MIPS + timer: SFI memory checks, watchdog timer bounds runtime
+//     (the paper's prototype);
+//   - MIPS + software budget: SFI plus counter checks at backward jumps;
+//   - x86 segmentation: verification only, hardware isolates
+//     ("almost no software checks are needed").
+type AblationResult struct {
+	Labels []string
+	Insns  []int64   // dynamic instructions per invocation
+	Us     []float64 // handler path time per invocation
+}
+
+// RunAblation regenerates the safety-strategy comparison.
+func RunAblation() AblationResult {
+	r := AblationResult{}
+	add := func(label string, pol *sandbox.Policy, unsafe bool, timer bool) {
+		insns, us := ablationRun(pol, unsafe, timer)
+		r.Labels = append(r.Labels, label)
+		r.Insns = append(r.Insns, insns)
+		r.Us = append(r.Us, us)
+	}
+
+	add("unsafe (no protection)", nil, true, false)
+
+	mipsTimer := sandbox.DefaultPolicy()
+	add("MIPS SFI + watchdog timer", mipsTimer, false, true)
+
+	mipsSoft := sandbox.DefaultPolicy()
+	mipsSoft.Budget = sandbox.BudgetSoftware
+	add("MIPS SFI + software budget", mipsSoft, false, false)
+
+	x86 := sandbox.DefaultPolicy()
+	x86.Hardware = sandbox.HardwareX86
+	add("x86 segmentation", x86, false, false)
+	return r
+}
+
+// ablationRun executes the trusted write handler once under a policy and
+// returns (dynamic instructions, path microseconds).
+func ablationRun(pol *sandbox.Policy, unsafe, timer bool) (int64, float64) {
+	tb := NewAN2Testbed()
+	if pol != nil {
+		tb.Sys2.Policy = pol
+	}
+	owner := tb.K2.Spawn("dsm-app", func(p *aegis.Process) {})
+	node := crl.NewNode(tb.Sys2, owner)
+	_, seg, err := node.AddSegment(8192, "shared")
+	if err != nil {
+		panic(err)
+	}
+	ash := tb.Sys2.MustDownload(owner, crl.TrustedWriteHandler(),
+		core.Options{Unsafe: unsafe, Budget: 100000})
+	_ = timer
+
+	msgSeg := owner.AS.Alloc(4096, "synthetic-msg")
+	msg := tb.K2.Bytes(msgSeg.Base, 4096)
+	putU32 := func(off int, v uint32) {
+		msg[off] = byte(v >> 24)
+		msg[off+1] = byte(v >> 16)
+		msg[off+2] = byte(v >> 8)
+		msg[off+3] = byte(v)
+	}
+	putU32(0, seg.Base)
+	putU32(4, 40)
+
+	var insns int64
+	var us float64
+	tb.Eng.Schedule(0, func() {
+		mc := aegis.SyntheticMsg(tb.K2, owner, aegis.RingEntry{Addr: msgSeg.Base, Len: 48})
+		if d := ash.HandleMsg(mc); d != aegis.DispConsumed {
+			panic(ash.InvoluntaryFault)
+		}
+		insns = ash.LastInsns()
+		us = tb.Us(mc.Cost())
+	})
+	tb.Eng.Run()
+	return insns, us
+}
+
+// Table renders the ablation.
+func (r AblationResult) Table() *Table {
+	tab := &Table{
+		Title:   "Ablation: safety strategies of Section III-B (trusted remote write, 40 B)",
+		Columns: []string{"dyn. insns", "us/invocation"},
+		Format:  "%.2f",
+	}
+	for i, l := range r.Labels {
+		tab.Rows = append(tab.Rows, Row{
+			Label:    l,
+			Measured: []float64{float64(r.Insns[i]), r.Us[i]},
+		})
+	}
+	return tab
+}

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// within asserts |got-want|/want <= tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if math.Abs(got-want)/want > tol {
+		t.Errorf("%s = %.2f, paper %.2f (outside %.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r := RunTable1(10)
+	within(t, "in-kernel AN2", r.InKernelAN2, PaperTable1.InKernelAN2, 0.05)
+	within(t, "user-level AN2", r.UserAN2, PaperTable1.UserAN2, 0.05)
+	within(t, "Ethernet", r.Ethernet, PaperTable1.Ethernet, 0.05)
+}
+
+func TestFig3Shape(t *testing.T) {
+	f := RunFig3(48)
+	// Monotone non-decreasing with size; approaches the 16.8 MB/s ceiling.
+	for i := 1; i < len(f.Points); i++ {
+		if f.Points[i].MBps+0.01 < f.Points[i-1].MBps {
+			t.Fatalf("throughput dropped between %d and %d bytes",
+				f.Points[i-1].Size, f.Points[i].Size)
+		}
+	}
+	last := f.Points[len(f.Points)-1]
+	within(t, "4-KB throughput", last.MBps, PaperFig3Max, 0.05)
+}
+
+func TestTable2Shape(t *testing.T) {
+	p := Table2Params{LatIters: 8, UDPTrains: 10, TCPBytes: 2 << 20}
+	r := RunTable2(p)
+	rows := r.Rows
+
+	// Latencies within 10% of the paper across the AN2 rows.
+	for i := 0; i < 4; i++ {
+		within(t, rows[i].Label+" UDP lat", rows[i].UDPLat, PaperTable2[i].UDPLat, 0.10)
+		within(t, rows[i].Label+" TCP lat", rows[i].TCPLat, PaperTable2[i].TCPLat, 0.10)
+	}
+	// Orderings the paper's analysis depends on.
+	if !(rows[0].UDPTput > rows[2].UDPTput) {
+		t.Error("eliminating the copy did not raise UDP throughput")
+	}
+	ratio := rows[0].UDPTput / rows[2].UDPTput
+	if ratio < 1.05 || ratio > 1.5 {
+		t.Errorf("no-copy UDP gain = %.2fx, paper: 1.1-1.4x", ratio)
+	}
+	if !(rows[2].UDPTput > rows[3].UDPTput) {
+		t.Error("checksumming did not lower UDP throughput")
+	}
+	if !(rows[0].TCPTput > rows[3].TCPTput) {
+		t.Error("in-place no-checksum TCP not fastest")
+	}
+	if !(rows[1].TCPLat > rows[0].TCPLat+30) {
+		t.Error("TCP checksum latency penalty missing")
+	}
+	// Ethernet is bandwidth-bound near 1 MB/s.
+	within(t, "Ethernet UDP tput", rows[4].UDPTput, PaperTable2[4].UDPTput, 0.25)
+	within(t, "Ethernet TCP tput", rows[4].TCPTput, PaperTable2[4].TCPTput, 0.25)
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	r := RunTable3()
+	within(t, "single copy", r.SingleCopy, PaperTable3.SingleCopy, 0.05)
+	// The paper's claims: a second copy degrades throughput by ~1.4x
+	// cached and ~2x uncached.
+	cachedFactor := r.SingleCopy / r.DoubleCopy
+	uncachedFactor := r.SingleCopy / r.DoubleUncached
+	if cachedFactor < 1.3 || cachedFactor > 1.75 {
+		t.Errorf("cached double-copy factor = %.2f, paper ~1.4", cachedFactor)
+	}
+	if uncachedFactor < 1.8 || uncachedFactor > 2.2 {
+		t.Errorf("uncached double-copy factor = %.2f, paper ~2", uncachedFactor)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	r := RunTable4()
+	for i, label := range []string{"copy&cksum", "copy&cksum&bswap"} {
+		within(t, "separate "+label, r.Separate[i], PaperTable4.Separate[i], 0.12)
+		within(t, "separate/uncached "+label, r.SeparateUncached[i], PaperTable4.SeparateUncached[i], 0.18)
+		within(t, "C integrated "+label, r.CIntegrated[i], PaperTable4.CIntegrated[i], 0.12)
+		within(t, "DILP "+label, r.DILP[i], PaperTable4.DILP[i], 0.16)
+		// Integration must win by the paper's ~1.4-1.6x.
+		benefit := r.DILP[i] / r.Separate[i]
+		if benefit < 1.25 || benefit > 1.75 {
+			t.Errorf("%s integration benefit = %.2fx, paper ~1.4-1.6x", label, benefit)
+		}
+		// DILP within a few percent of the hand-integrated loop.
+		if math.Abs(r.DILP[i]-r.CIntegrated[i])/r.CIntegrated[i] > 0.06 {
+			t.Errorf("%s: DILP %.1f vs hand %.1f — should be nearly equal", label, r.DILP[i], r.CIntegrated[i])
+		}
+	}
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	r := RunTable5(8)
+	for m := MechUnsafeASH; m <= MechUserLevel; m++ {
+		within(t, mechNames[m]+" polling", r.Polling[m], PaperTable5.Polling[m], 0.06)
+		within(t, mechNames[m]+" suspended", r.Suspended[m], PaperTable5.Suspended[m], 0.06)
+	}
+	// The paper's claims in relation form.
+	if d := r.Polling[MechUserLevel] - r.Polling[MechUnsafeASH]; d < 25 || d > 45 {
+		t.Errorf("ASH saves %.0f us when polling, paper ~35", d)
+	}
+	if d := r.Polling[MechSandboxedASH] - r.Polling[MechUnsafeASH]; d < 2 || d > 10 {
+		t.Errorf("sandboxing costs %.0f us, paper ~5", d)
+	}
+	if d := r.Suspended[MechUserLevel] - r.Suspended[MechSandboxedASH]; d < 60 {
+		t.Errorf("suspended ASH saves only %.0f us, paper ~96", d)
+	}
+	// ASHs and upcalls are scheduling-independent; user level is not.
+	if math.Abs(r.Suspended[MechUnsafeASH]-r.Polling[MechUnsafeASH]) > 5 {
+		t.Error("ASH latency depends on scheduling state")
+	}
+	if math.Abs(r.Suspended[MechUpcall]-r.Polling[MechUpcall]) > 6 {
+		t.Error("upcall latency depends on scheduling state")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	p := Table6Params{LatIters: 8, TCPBytes: 2 << 20}
+	r := RunTable6(p)
+	const (
+		sandboxed = 0
+		unsafe    = 1
+		upcall    = 2
+		userInt   = 3
+		userPoll  = 4
+	)
+	// User-level rows reproduce the paper closely.
+	within(t, "user polling latency", r.Latency[userPoll], PaperTable6.Latency[userPoll], 0.05)
+	within(t, "user polling tput", r.Tput[userPoll], PaperTable6.Tput[userPoll], 0.10)
+
+	// The headline orderings.
+	if !(r.Latency[unsafe] < r.Latency[sandboxed]) {
+		t.Error("sandboxing did not cost latency")
+	}
+	if !(r.Latency[sandboxed] < r.Latency[userInt]) {
+		t.Error("ASH not faster than interrupt-driven user level")
+	}
+	saving := r.Latency[userInt] - r.Latency[sandboxed]
+	if saving < 50 {
+		t.Errorf("suspended-case ASH saving = %.0f us, paper ~65", saving)
+	}
+	for i := 0; i < 3; i++ {
+		if !(r.Tput[i] > r.Tput[userInt]) {
+			t.Errorf("handler mode %d not faster than interrupt-driven user level", i)
+		}
+	}
+	if !(r.TputSmall[sandboxed] > r.TputSmall[userPoll]) {
+		t.Error("small-MSS: handlers lost their advantage")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	f := RunFig4(6, 4)
+	first, last := f.Points[0], f.Points[len(f.Points)-1]
+	// ASH: flat.
+	if math.Abs(last.ASH-first.ASH) > 10 {
+		t.Errorf("ASH line not flat: %.0f -> %.0f", first.ASH, last.ASH)
+	}
+	// Oblivious round-robin: grows roughly linearly (one quantum per
+	// competitor).
+	if last.Oblivious < 5*first.Oblivious {
+		t.Errorf("oblivious line did not grow: %.0f -> %.0f", first.Oblivious, last.Oblivious)
+	}
+	for i := 1; i < len(f.Points); i++ {
+		if f.Points[i].Oblivious+1 < f.Points[i-1].Oblivious {
+			t.Error("oblivious line not monotone")
+		}
+	}
+	// Ultrix-like: between the two; grows far slower than oblivious.
+	if !(first.ASH < first.Ultrix) {
+		t.Error("Ultrix baseline below ASH")
+	}
+	if !(last.Ultrix < last.Oblivious/10) {
+		t.Error("Ultrix-like scheduler did not reduce the scheduling effect")
+	}
+	if !(last.Ultrix > first.Ultrix) {
+		t.Error("Ultrix-like scheduler shows no residual effect")
+	}
+}
+
+func TestSandboxMatchesPaper(t *testing.T) {
+	r := RunSandbox()
+	if r.SpecificInsns < 7 || r.SpecificInsns > 13 {
+		t.Errorf("hand-crafted specific = %d insns, paper ~10", r.SpecificInsns)
+	}
+	if r.AddedBySandbox < 24 || r.AddedBySandbox > 32 {
+		t.Errorf("sandboxing added %d insns, paper 28", r.AddedBySandbox)
+	}
+	if r.SpecificSandboxInsns >= r.GenericInsns {
+		t.Errorf("sandboxed specific (%d) not below generic (%d) — the Section V-D claim",
+			r.SpecificSandboxInsns, r.GenericInsns)
+	}
+	if r.Ratio40 <= r.Ratio4096 {
+		t.Error("sandbox overhead ratio did not shrink with transfer size")
+	}
+	if r.Ratio4096 > 1.05 {
+		t.Errorf("4096-byte ratio = %.3f, paper 1.01-1.02", r.Ratio4096)
+	}
+}
+
+func TestDPFOrderOfMagnitude(t *testing.T) {
+	r := RunDPF()
+	n := len(r.Filters) - 1
+	if r.Linear[n]/r.Trie[n] < 10 {
+		t.Errorf("DPF advantage at %d filters = %.1fx, paper: order of magnitude",
+			r.Filters[n], r.Linear[n]/r.Trie[n])
+	}
+	if r.Trie[n] > 2*r.Trie[0] {
+		t.Error("trie demux cost grew with filter count")
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	// Smoke-test every renderer (cheap parameter sets).
+	outs := []string{
+		RunTable1(4).Table().Render(),
+		RunTable3().Table().Render(),
+		RunTable4().Table().Render(),
+		RunSandbox().Table().Render(),
+		RunDPF().Table().Render(),
+		RunFig3(8).Render(),
+	}
+	for i, s := range outs {
+		if len(s) < 80 || !strings.Contains(s, "\n") {
+			t.Errorf("renderer %d produced %q", i, s)
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	r := RunAblation()
+	// unsafe < x86 <= timer < software-budget in instruction count.
+	byLabel := map[string]int{}
+	for i, l := range r.Labels {
+		byLabel[l] = i
+	}
+	unsafe := r.Insns[byLabel["unsafe (no protection)"]]
+	timer := r.Insns[byLabel["MIPS SFI + watchdog timer"]]
+	soft := r.Insns[byLabel["MIPS SFI + software budget"]]
+	x86 := r.Insns[byLabel["x86 segmentation"]]
+	if !(unsafe < timer) {
+		t.Errorf("SFI added nothing: unsafe=%d timer=%d", unsafe, timer)
+	}
+	if !(timer <= soft) {
+		t.Errorf("software budget not >= timer: %d vs %d", soft, timer)
+	}
+	if x86 != unsafe {
+		t.Errorf("x86 segmentation added %d instructions, want 0 (hardware isolates)", x86-unsafe)
+	}
+}

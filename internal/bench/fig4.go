@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ashs/internal/aegis"
+	"ashs/internal/core"
+	"ashs/internal/crl"
+	"ashs/internal/mach"
+	"ashs/internal/proto/link"
+	"ashs/internal/sim"
+)
+
+// Fig4Point is the remote-increment round trip with n active processes on
+// the serving host, for the three systems of Fig. 4.
+type Fig4Point struct {
+	Procs     int
+	ASH       float64 // us: handled in the kernel, scheduler-independent
+	Oblivious float64 // us: user level under Aegis' oblivious round-robin
+	Ultrix    float64 // us: user level under an Ultrix-like boosting scheduler
+}
+
+// Fig4 is the scheduling-decoupling experiment (Section V-C).
+type Fig4 struct {
+	Points []Fig4Point
+}
+
+// RunFig4 regenerates Fig. 4 for process counts 1..maxProcs.
+func RunFig4(maxProcs, iters int) Fig4 {
+	var out Fig4
+	for n := 1; n <= maxProcs; n++ {
+		out.Points = append(out.Points, Fig4Point{
+			Procs:     n,
+			ASH:       fig4RT(n, "ash", iters),
+			Oblivious: fig4RT(n, "oblivious", iters),
+			Ultrix:    fig4RT(n, "ultrix", iters),
+		})
+	}
+	return out
+}
+
+// fig4RT measures the remote-increment RT with n processes active on the
+// server: the receiving application plus n-1 compute-bound competitors.
+func fig4RT(n int, system string, iters int) float64 {
+	tb := NewAN2Testbed()
+	const vc = 9
+	const warmup = 2
+
+	if system == "ultrix" {
+		// The Ultrix-style scheduler "raises the priority of a process
+		// immediately after a network interrupt", but every kernel
+		// operation costs Ultrix-class cycles (an order of magnitude over
+		// Aegis: Section V's discussion of kernel crossing costs).
+		tb.K2.Sched = aegis.NewPriorityBoost(tb.K2)
+		ultrixify(tb.K2.Prof)
+	}
+
+	// Competitors: n-1 compute-bound processes on the serving host.
+	for i := 1; i < n; i++ {
+		tb.K2.Spawn(fmt.Sprintf("competitor-%d", i), func(p *aegis.Process) {
+			p.SpinForever()
+		})
+	}
+
+	switch system {
+	case "ash":
+		owner := tb.K2.Spawn("dsm-app", func(p *aegis.Process) {})
+		node := crl.NewNode(tb.Sys2, owner)
+		prog := crl.IncrementHandler(node.CounterSeg.Base, tb.A1.Addr(), vc)
+		ash := tb.Sys2.MustDownload(owner, prog, core.Options{})
+		b, err := tb.A2.BindVC(owner, vc, 8, 4096)
+		if err != nil {
+			panic(err)
+		}
+		ash.AttachVC(b)
+	default:
+		tb.K2.Spawn("server", func(p *aegis.Process) {
+			ep, err := link.BindAN2(tb.A2, p, vc, 8, 4096)
+			if err != nil {
+				panic(err)
+			}
+			counter := p.AS.Alloc(64, "counter")
+			for i := 0; i < warmup+iters; i++ {
+				f := ep.Recv(false) // interrupt-driven wait
+				inc := f.U32(0)
+				v, _ := p.AS.Load32(counter.Base)
+				_ = p.AS.Store32(counter.Base, v+inc)
+				p.Compute(10)
+				reply := make([]byte, 4)
+				ep.Release(f)
+				ep.Send(link.Addr{Port: f.Entry.Src, VC: vc}, reply)
+			}
+		})
+	}
+
+	var total sim.Time
+	done := 0
+	finished := false
+	tb.K1.Spawn("client", func(p *aegis.Process) {
+		ep, err := link.BindAN2(tb.A1, p, vc, 8, 4096)
+		if err != nil {
+			panic(err)
+		}
+		var start sim.Time
+		for i := 0; i < warmup+iters; i++ {
+			if i == warmup {
+				start = p.K.Now()
+			}
+			for {
+				ep.Send(link.Addr{Port: tb.A2.Addr(), VC: vc}, []byte{0, 0, 0, 1})
+				// Messages can be lost before the server binds, and waits
+				// can span many competitor quanta: retry generously.
+				f, ok := ep.RecvUntil(true, p.K.Now()+tb.Prof.Cycles(400_000))
+				if ok {
+					ep.Release(f)
+					break
+				}
+			}
+			done = i + 1
+		}
+		total = p.K.Now() - start
+		finished = true
+	})
+	// Round-robin waits grow with n; bound the run generously.
+	tb.RunUntilDone(&finished, 60_000_000_000)
+	if done < warmup+iters {
+		panic(fmt.Sprintf("fig4: %s with %d procs completed %d/%d", system, n, done, warmup+iters))
+	}
+	return tb.Us(total) / float64(iters)
+}
+
+// ultrixify scales the kernel-operation costs of a profile to Ultrix-class
+// values (the paper: Aegis' crossings are "an order of magnitude better
+// than a run-of-the-mill UNIX system like Ultrix", and taking an interrupt
+// plus re-entering via syscall costs ~95 us there vs ~35 us on Aegis).
+func ultrixify(p *mach.Profile) {
+	p.SyscallCycles *= 4
+	p.InterruptCycles *= 10
+	p.CrossingCycles *= 10
+	p.SchedDecision += p.UltrixExtraCrossing
+	p.RingUpdateCycles *= 4
+	p.BufferMgmtCycles *= 2
+	p.DeviceRxService *= 3
+	p.DeviceTxSetup *= 3
+}
+
+// Render draws the three series.
+func (f Fig4) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4: remote-increment RT (us) vs number of active processes on the server\n")
+	b.WriteString("  (paper: ASH flat; oblivious round-robin grows with n; Ultrix-like boost\n")
+	b.WriteString("   scheduler reduced but still affected)\n")
+	fmt.Fprintf(&b, "  %6s  %12s  %14s  %12s\n", "procs", "ASH", "oblivious RR", "Ultrix-like")
+	for _, pt := range f.Points {
+		fmt.Fprintf(&b, "  %6d  %12.0f  %14.0f  %12.0f\n", pt.Procs, pt.ASH, pt.Oblivious, pt.Ultrix)
+	}
+	return b.String()
+}

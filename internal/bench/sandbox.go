@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"ashs/internal/aegis"
+	"ashs/internal/core"
+	"ashs/internal/crl"
+	"ashs/internal/dpf"
+	"ashs/internal/sim"
+)
+
+// SandboxResult is the Section V-D sandboxing-overhead experiment: the
+// generic vs application-specific remote write, run in isolation (no
+// communication), sandboxed and not, at 40 and 4096 bytes.
+type SandboxResult struct {
+	// Dynamic instruction counts (excluding the copied data), 40-byte run.
+	GenericInsns         int64 // generic protocol, hand-crafted (unsafe)
+	SpecificInsns        int64 // app-specific, hand-crafted (unsafe)
+	SpecificSandboxInsns int64 // app-specific, sandboxed
+	AddedBySandbox       int64
+	// Execution-time ratios sandboxed/unsafe.
+	Ratio40   float64
+	Ratio4096 float64
+}
+
+// PaperSandbox holds the paper's Section V-D numbers.
+var PaperSandbox = SandboxResult{
+	GenericInsns: 68, SpecificInsns: 10, SpecificSandboxInsns: 38,
+	AddedBySandbox: 28, Ratio40: 1.35, Ratio4096: 1.015,
+}
+
+// RunSandbox regenerates the Section V-D measurements.
+func RunSandbox() SandboxResult {
+	var r SandboxResult
+
+	// Instruction counts at 40 bytes.
+	r.GenericInsns = runWriteHandler(true, true, 40).insns
+	spec40u := runWriteHandler(false, true, 40)
+	spec40s := runWriteHandler(false, false, 40)
+	r.SpecificInsns = spec40u.insns
+	r.SpecificSandboxInsns = spec40s.insns
+	r.AddedBySandbox = spec40s.insns - spec40u.insns
+	r.Ratio40 = float64(spec40s.cycles) / float64(spec40u.cycles)
+
+	spec4096u := runWriteHandler(false, true, 4096)
+	spec4096s := runWriteHandler(false, false, 4096)
+	r.Ratio4096 = float64(spec4096s.cycles) / float64(spec4096u.cycles)
+	return r
+}
+
+type handlerRun struct {
+	insns  int64
+	cycles sim.Time
+}
+
+// runWriteHandler executes a remote-write handler on a synthetic message
+// in isolation (Section V-D's methodology) and reports its dynamic
+// instruction count (excluding data copying, which runs through the
+// trusted engine) and total cycles.
+func runWriteHandler(generic, unsafe bool, nbytes int) handlerRun {
+	tb := NewAN2Testbed()
+	owner := tb.K2.Spawn("dsm-app", func(p *aegis.Process) {})
+	node := crl.NewNode(tb.Sys2, owner)
+	segID, seg, err := node.AddSegment(8192, "shared")
+	if err != nil {
+		panic(err)
+	}
+
+	var prog = crl.TrustedWriteHandler()
+	if generic {
+		prog = crl.GenericWriteHandler(node.TableAddr(), crl.MaxSegments, 0, 1)
+	}
+	ash := tb.Sys2.MustDownload(owner, prog, core.Options{Unsafe: unsafe})
+
+	// Build the message in a buffer in the owner's space.
+	msgSeg := owner.AS.Alloc(8192, "synthetic-msg")
+	msg := tb.K2.Bytes(msgSeg.Base, 8192)
+	var msgLen int
+	if generic {
+		be := func(off int, v uint32) {
+			msg[off] = byte(v >> 24)
+			msg[off+1] = byte(v >> 16)
+			msg[off+2] = byte(v >> 8)
+			msg[off+3] = byte(v)
+		}
+		be(0, 0x44534d21)
+		be(4, 1<<16)
+		be(8, 42)
+		be(12, uint32(segID))
+		be(16, 64)
+		be(20, uint32(nbytes))
+		msgLen = 24 + nbytes
+	} else {
+		be := func(off int, v uint32) {
+			msg[off] = byte(v >> 24)
+			msg[off+1] = byte(v >> 16)
+			msg[off+2] = byte(v >> 8)
+			msg[off+3] = byte(v)
+		}
+		be(0, seg.Base+64)
+		be(4, uint32(nbytes))
+		msgLen = 8 + nbytes
+	}
+
+	var run handlerRun
+	tb.Eng.Schedule(0, func() {
+		mc := aegis.SyntheticMsg(tb.K2, owner, aegis.RingEntry{Addr: msgSeg.Base, Len: msgLen})
+		d := ash.HandleMsg(mc)
+		if d != aegis.DispConsumed || ash.InvoluntaryFault != nil {
+			panic(ash.InvoluntaryFault)
+		}
+		run.insns = ash.LastInsns()
+		run.cycles = mc.Cost()
+	})
+	tb.Eng.Run()
+	return run
+}
+
+// Table renders the Section V-D results.
+func (r SandboxResult) Table() *Table {
+	return &Table{
+		Title:   "Section V-D: sandboxing overhead (remote write)",
+		Note:    "instruction counts exclude data copying; ratios are sandboxed/unsafe execution time",
+		Columns: []string{"value"},
+		Format:  "%.2f",
+		Rows: []Row{
+			{"generic hand-crafted (insns)", []float64{float64(r.GenericInsns)}, []float64{float64(PaperSandbox.GenericInsns)}},
+			{"app-specific hand-crafted (insns)", []float64{float64(r.SpecificInsns)}, []float64{float64(PaperSandbox.SpecificInsns)}},
+			{"app-specific sandboxed (insns)", []float64{float64(r.SpecificSandboxInsns)}, []float64{float64(PaperSandbox.SpecificSandboxInsns)}},
+			{"added by sandboxing (insns)", []float64{float64(r.AddedBySandbox)}, []float64{float64(PaperSandbox.AddedBySandbox)}},
+			{"time ratio, 40-byte write", []float64{r.Ratio40}, []float64{PaperSandbox.Ratio40}},
+			{"time ratio, 4096-byte write", []float64{r.Ratio4096}, []float64{PaperSandbox.Ratio4096}},
+		},
+	}
+}
+
+// DPFResult compares the DPF discrimination trie against an MPF-class
+// interpreted engine as installed filters accumulate (Section IV-A's
+// order-of-magnitude claim).
+type DPFResult struct {
+	Filters []int
+	Trie    []float64 // us per demux decision
+	Linear  []float64
+}
+
+// RunDPF regenerates the comparison.
+func RunDPF() DPFResult {
+	prof := NewAN2Testbed().Prof
+	var r DPFResult
+	for _, n := range []int{1, 4, 16, 64} {
+		e := dpf.NewEngine()
+		for i := 0; i < n; i++ {
+			f := dpf.NewFilter().Eq16(12, 0x0800).Eq8(23, 17).Eq16(36, uint16(1000+i))
+			if _, err := e.Insert(f); err != nil {
+				panic(err)
+			}
+		}
+		pkt := make([]byte, 64)
+		pkt[12], pkt[13] = 0x08, 0x00
+		pkt[23] = 17
+		pkt[36] = byte((1000 + n - 1) >> 8)
+		pkt[37] = byte(1000 + n - 1)
+		_, tc, ok := e.Demux(pkt)
+		if !ok {
+			panic("dpf: trie miss")
+		}
+		_, lc, ok := e.DemuxLinear(pkt)
+		if !ok {
+			panic("dpf: linear miss")
+		}
+		r.Filters = append(r.Filters, n)
+		r.Trie = append(r.Trie, prof.Us(tc))
+		r.Linear = append(r.Linear, prof.Us(lc))
+	}
+	return r
+}
+
+// Table renders the DPF comparison.
+func (r DPFResult) Table() *Table {
+	tab := &Table{
+		Title:   "DPF vs interpreted demultiplexing (us per decision, worst-case filter)",
+		Columns: []string{"DPF trie", "interpreted"},
+		Format:  "%.2f",
+	}
+	for i, n := range r.Filters {
+		tab.Rows = append(tab.Rows, Row{
+			Label:    "filters=" + itoa(n),
+			Measured: []float64{r.Trie[i], r.Linear[i]},
+		})
+	}
+	return tab
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

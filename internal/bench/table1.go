@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"ashs/internal/aegis"
+	"ashs/internal/dpf"
+	"ashs/internal/proto/link"
+	"ashs/internal/sim"
+)
+
+// Table1 is the raw round-trip latency of the base system (Section IV-C):
+// a 4-byte message ping-ponged between two hosts.
+type Table1 struct {
+	InKernelAN2 float64 // us per round trip
+	UserAN2     float64
+	Ethernet    float64
+}
+
+// PaperTable1 is Table I of the paper.
+var PaperTable1 = Table1{InKernelAN2: 112, UserAN2: 182, Ethernet: 309}
+
+// RunTable1 regenerates Table I.
+func RunTable1(iters int) Table1 {
+	return Table1{
+		InKernelAN2: inKernelAN2RT(iters),
+		UserAN2:     userAN2RT(iters),
+		Ethernet:    ethernetRT(iters),
+	}
+}
+
+// inKernelAN2RT measures the best in-kernel ping-pong: polled driver
+// endpoints replying directly from the kernel.
+func inKernelAN2RT(iters int) float64 {
+	tb := NewAN2Testbed()
+	const vc = 5
+	sb, err := tb.A2.BindVC(nil, vc, 8, 4096)
+	if err != nil {
+		panic(err)
+	}
+	sb.InKernel = true
+	sb.InKernelRx = func(mc *aegis.MsgCtx) {
+		mc.Send(mc.Src, mc.VC, append([]byte(nil), mc.Data()...))
+	}
+	cb, err := tb.A1.BindVC(nil, vc, 8, 4096)
+	if err != nil {
+		panic(err)
+	}
+	cb.InKernel = true
+	count := 0
+	var done sim.Time
+	cb.InKernelRx = func(mc *aegis.MsgCtx) {
+		count++
+		if count < iters {
+			mc.Send(mc.Src, mc.VC, []byte{1, 2, 3, 4})
+		} else {
+			done = mc.When()
+		}
+	}
+	tb.A1.KernelSend(tb.A2.Addr(), vc, []byte{1, 2, 3, 4})
+	tb.Eng.Run()
+	return tb.Us(done) / float64(iters)
+}
+
+// userAN2RT measures the user-level ping-pong: polling processes using
+// the full system call interface.
+func userAN2RT(iters int) float64 {
+	tb := NewAN2Testbed()
+	const vc = 5
+	tb.K2.Spawn("echo", func(p *aegis.Process) {
+		ep, err := link.BindAN2(tb.A2, p, vc, 8, 4096)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < iters; i++ {
+			f := ep.Recv(true)
+			msg := make([]byte, f.Len())
+			f.Bytes(msg, 0, f.Len())
+			ep.Release(f)
+			ep.Send(link.Addr{Port: f.Entry.Src, VC: vc}, msg)
+		}
+	})
+	var total sim.Time
+	tb.K1.Spawn("client", func(p *aegis.Process) {
+		ep, err := link.BindAN2(tb.A1, p, vc, 8, 4096)
+		if err != nil {
+			panic(err)
+		}
+		start := p.K.Now()
+		for i := 0; i < iters; i++ {
+			ep.Send(link.Addr{Port: tb.A2.Addr(), VC: vc}, []byte{1, 2, 3, 4})
+			f := ep.Recv(true)
+			ep.Release(f)
+		}
+		total = p.K.Now() - start
+	})
+	tb.Eng.Run()
+	return tb.Us(total) / float64(iters)
+}
+
+// ethernetRT measures the user-level Ethernet ping-pong with DPF demux.
+func ethernetRT(iters int) float64 {
+	tb := NewEthernetTestbed()
+	tagged := func(tag byte) *dpf.Filter { return dpf.NewFilter().Eq8(0, tag) }
+
+	tb.K2.Spawn("echo", func(p *aegis.Process) {
+		ep, err := link.BindEthernet(tb.E2, p, tagged(0xAA))
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < iters; i++ {
+			f := ep.Recv(true)
+			msg := make([]byte, f.Len())
+			f.Bytes(msg, 0, f.Len())
+			msg[0] = 0xBB
+			ep.Release(f)
+			ep.Send(link.Addr{Port: f.Entry.Src}, msg)
+		}
+	})
+	var total sim.Time
+	tb.K1.Spawn("client", func(p *aegis.Process) {
+		ep, err := link.BindEthernet(tb.E1, p, tagged(0xBB))
+		if err != nil {
+			panic(err)
+		}
+		start := p.K.Now()
+		for i := 0; i < iters; i++ {
+			ep.Send(link.Addr{Port: tb.E2.Addr()}, []byte{0xAA, 0, 0, 4})
+			f := ep.Recv(true)
+			ep.Release(f)
+		}
+		total = p.K.Now() - start
+	})
+	tb.Eng.Run()
+	return tb.Us(total) / float64(iters)
+}
+
+// Table renders Table I.
+func (t Table1) Table() *Table {
+	return &Table{
+		Title:   "Table I: raw latency (us per round trip), 4-byte messages",
+		Columns: []string{"latency"},
+		Format:  "%.0f",
+		Rows: []Row{
+			{"in-kernel AN2", []float64{t.InKernelAN2}, []float64{PaperTable1.InKernelAN2}},
+			{"user-level AN2", []float64{t.UserAN2}, []float64{PaperTable1.UserAN2}},
+			{"Ethernet", []float64{t.Ethernet}, []float64{PaperTable1.Ethernet}},
+		},
+	}
+}

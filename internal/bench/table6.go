@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"ashs/internal/aegis"
+	"ashs/internal/proto/tcp"
+)
+
+// Table6 is the end-to-end TCP comparison of handler placements
+// (Section V-B, Table VI): latency and throughput for TCP on the AN2 with
+// the common-case fast path in a sandboxed ASH, an unsafe ASH, an upcall,
+// or the user-level library (interrupt-driven and polling).
+type Table6 struct {
+	// Indexed: 0 sandboxed ASH, 1 unsafe ASH, 2 upcall, 3 user-level
+	// (interrupt), 4 user-level (polling).
+	Latency   [5]float64 // us
+	Tput      [5]float64 // MB/s, MSS 3072, 8-KB writes
+	TputSmall [5]float64 // MB/s, MSS 536, 4-KB writes
+}
+
+// PaperTable6 is Table VI of the paper.
+var PaperTable6 = Table6{
+	Latency:   [5]float64{394, 348, 382, 459, 384},
+	Tput:      [5]float64{4.32, 4.53, 4.27, 3.92, 4.11},
+	TputSmall: [5]float64{2.66, 3.05, 2.78, 2.32, 2.56},
+}
+
+// Table6Labels name the columns.
+var Table6Labels = [5]string{
+	"sandboxed ASH", "unsafe ASH", "upcall", "user (interrupt)", "user (polling)",
+}
+
+// Table6Params sizes the workloads.
+type Table6Params struct {
+	LatIters int
+	TCPBytes int
+}
+
+// DefaultTable6Params mirrors the paper (10 MB streams).
+func DefaultTable6Params() Table6Params {
+	return Table6Params{LatIters: 10, TCPBytes: 10 << 20}
+}
+
+type table6Mode struct {
+	mode      tcp.Mode
+	polling   bool
+	suspended bool // competitor + boost scheduler on both hosts
+}
+
+var table6Modes = [5]table6Mode{
+	{tcp.ModeASH, true, false},
+	{tcp.ModeASHUnsafe, true, false},
+	{tcp.ModeUpcall, true, false},
+	{tcp.ModeUser, false, true},
+	{tcp.ModeUser, true, false},
+}
+
+// RunTable6 regenerates Table VI.
+func RunTable6(p Table6Params) Table6 {
+	var t Table6
+	for i, m := range table6Modes {
+		t.Latency[i] = table6Latency(m, p.LatIters)
+		t.Tput[i] = table6Tput(m, p.TCPBytes, 3072, 8192)
+		t.TputSmall[i] = table6Tput(m, p.TCPBytes/2, 536, 4096)
+	}
+	return t
+}
+
+func table6Testbed(m table6Mode) *Testbed {
+	tb := NewAN2Testbed()
+	if m.suspended {
+		tb.K1.Sched = aegis.NewPriorityBoost(tb.K1)
+		tb.K2.Sched = aegis.NewPriorityBoost(tb.K2)
+		tb.K1.Spawn("competitor1", func(p *aegis.Process) { p.SpinForever() })
+		tb.K2.Spawn("competitor2", func(p *aegis.Process) { p.SpinForever() })
+	}
+	return tb
+}
+
+func table6Cfg(tb *Testbed, m table6Mode, host, mss int) tcp.Config {
+	cfg := tcp.DefaultConfig()
+	cfg.Mode = m.mode
+	cfg.Polling = m.polling
+	cfg.Checksum = true
+	cfg.MSS = mss
+	if host == 1 {
+		cfg.Sys = tb.Sys1
+	} else {
+		cfg.Sys = tb.Sys2
+	}
+	return cfg
+}
+
+func table6Latency(m table6Mode, iters int) float64 {
+	tb := table6Testbed(m)
+	return tcpPingPong(tb, iters,
+		func(p *aegis.Process) (*tcp.Conn, error) {
+			return tcp.Accept(tb.StackAN2(p, 2, 7), table6Cfg(tb, m, 2, 3072), 80)
+		},
+		func(p *aegis.Process) (*tcp.Conn, error) {
+			return tcp.Connect(tb.StackAN2(p, 1, 7), table6Cfg(tb, m, 1, 3072), 1234, tb.IP2, 80)
+		})
+}
+
+func table6Tput(m table6Mode, totalBytes, mss, writeSize int) float64 {
+	tb := table6Testbed(m)
+	return tcpStream(tb, totalBytes, writeSize,
+		func(p *aegis.Process) (*tcp.Conn, error) {
+			return tcp.Accept(tb.StackAN2(p, 2, 7), table6Cfg(tb, m, 2, mss), 80)
+		},
+		func(p *aegis.Process) (*tcp.Conn, error) {
+			return tcp.Connect(tb.StackAN2(p, 1, 7), table6Cfg(tb, m, 1, mss), 1234, tb.IP2, 80)
+		})
+}
+
+// Table renders Table VI.
+func (t Table6) Table() *Table {
+	return &Table{
+		Title:   "Table VI: TCP on the AN2 with the fast path in handlers",
+		Note:    "latency in us; throughput in MB/s (MSS 3072); small MSS 536 with 4-KB writes",
+		Columns: Table6Labels[:],
+		Rows: []Row{
+			{"latency (us)", t.Latency[:], PaperTable6.Latency[:]},
+			{"throughput (MB/s)", t.Tput[:], PaperTable6.Tput[:]},
+			{"throughput, small MSS", t.TputSmall[:], PaperTable6.TputSmall[:]},
+		},
+	}
+}
+
+// Table6LatencyDebug and Table6TputDebug expose single-mode runs for
+// diagnostics.
+func Table6LatencyDebug(mode, iters int) float64 {
+	return table6Latency(table6Modes[mode], iters)
+}
+
+// Table6TputDebug measures one mode's throughput.
+func Table6TputDebug(mode, bytes, mss, ws int) float64 {
+	return table6Tput(table6Modes[mode], bytes, mss, ws)
+}

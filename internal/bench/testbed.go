@@ -1,0 +1,173 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Sections IV and V). Each experiment builds a fresh simulated
+// testbed — two DECstation 5000/240s on an AN2 switch or an Ethernet
+// segment — runs the workload the paper describes, and returns the rows
+// the paper reports alongside the paper's own numbers for comparison.
+//
+// Nothing here replays constants from the result tables: the measured
+// values emerge from the cost-model composition (see DESIGN.md §1, §4).
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ashs/internal/aegis"
+	"ashs/internal/core"
+	"ashs/internal/mach"
+	"ashs/internal/netdev"
+	"ashs/internal/proto/ip"
+	"ashs/internal/proto/link"
+	"ashs/internal/sim"
+)
+
+// Testbed is a pair of simulated hosts on one network.
+type Testbed struct {
+	Eng        *sim.Engine
+	Prof       *mach.Profile
+	Sw         *netdev.Switch
+	K1, K2     *aegis.Kernel
+	A1, A2     *aegis.AN2If      // AN2 testbeds
+	E1, E2     *aegis.EthernetIf // Ethernet testbeds
+	Sys1, Sys2 *core.System
+	IP1, IP2   ip.Addr
+}
+
+// NewAN2Testbed builds the standard two-host AN2 world.
+func NewAN2Testbed() *Testbed {
+	eng := sim.NewEngine()
+	prof := mach.DS5000_240()
+	sw := netdev.NewSwitch(eng, prof, netdev.AN2Config())
+	tb := &Testbed{Eng: eng, Prof: prof, Sw: sw,
+		K1: aegis.NewKernel("h1", eng, prof),
+		K2: aegis.NewKernel("h2", eng, prof),
+	}
+	tb.A1, tb.A2 = aegis.NewAN2(tb.K1, sw), aegis.NewAN2(tb.K2, sw)
+	tb.Sys1, tb.Sys2 = core.NewSystem(tb.K1), core.NewSystem(tb.K2)
+	tb.IP1, tb.IP2 = ip.HostAddr(tb.A1.Addr()), ip.HostAddr(tb.A2.Addr())
+	return tb
+}
+
+// NewEthernetTestbed builds the two-host Ethernet world.
+func NewEthernetTestbed() *Testbed {
+	eng := sim.NewEngine()
+	prof := mach.DS5000_240()
+	sw := netdev.NewSwitch(eng, prof, netdev.EthernetConfig())
+	tb := &Testbed{Eng: eng, Prof: prof, Sw: sw,
+		K1: aegis.NewKernel("h1", eng, prof),
+		K2: aegis.NewKernel("h2", eng, prof),
+	}
+	tb.E1, tb.E2 = aegis.NewEthernet(tb.K1, sw), aegis.NewEthernet(tb.K2, sw)
+	tb.Sys1, tb.Sys2 = core.NewSystem(tb.K1), core.NewSystem(tb.K2)
+	tb.IP1, tb.IP2 = ip.HostAddr(tb.E1.Addr()), ip.HostAddr(tb.E2.Addr())
+	return tb
+}
+
+// StackAN2 builds an IP stack over a fresh VC binding for p.
+func (tb *Testbed) StackAN2(p *aegis.Process, host, vc int) *ip.Stack {
+	iface := tb.A1
+	local := tb.IP1
+	if host == 2 {
+		iface = tb.A2
+		local = tb.IP2
+	}
+	ep, err := link.BindAN2(iface, p, vc, 16, iface.MaxFrame())
+	if err != nil {
+		panic(err)
+	}
+	return ip.NewStack(ep, local, ip.StaticResolver{
+		tb.IP1: {Port: tb.A1.Addr(), VC: vc},
+		tb.IP2: {Port: tb.A2.Addr(), VC: vc},
+	})
+}
+
+// Us converts cycles to microseconds under the testbed profile.
+func (tb *Testbed) Us(c sim.Time) float64 { return tb.Prof.Us(c) }
+
+// RunUntilDone advances the simulation in slices until *done is set (the
+// measurement finished) or maxSimUs of virtual time passes. Competitor
+// processes never exit, so experiments cannot simply drain the engine.
+func (tb *Testbed) RunUntilDone(done *bool, maxSimUs float64) {
+	limit := tb.Prof.Cycles(maxSimUs)
+	slice := tb.Prof.Cycles(100_000)
+	for !*done && tb.Eng.Now() < limit && (tb.Eng.Pending() > 0 || tb.Eng.Now() == 0) {
+		tb.Eng.RunFor(slice)
+	}
+	if !*done {
+		panic("bench: experiment did not complete within its time bound")
+	}
+}
+
+// Row is one line of a rendered result table.
+type Row struct {
+	Label    string
+	Measured []float64
+	Paper    []float64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string // value column names
+	Rows    []Row
+	Format  string // printf verb for values, default %.2f
+}
+
+// Render produces an aligned text table with measured-vs-paper columns.
+func (t *Table) Render() string {
+	format := t.Format
+	if format == "" {
+		format = "%.2f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	header := []string{"configuration"}
+	for _, c := range t.Columns {
+		header = append(header, c+" [meas]", c+" [paper]")
+	}
+	rows := [][]string{header}
+	for _, r := range t.Rows {
+		cells := []string{r.Label}
+		for i := range t.Columns {
+			m, p := "-", "-"
+			if i < len(r.Measured) {
+				m = fmt.Sprintf(format, r.Measured[i])
+			}
+			if i < len(r.Paper) {
+				p = fmt.Sprintf(format, r.Paper[i])
+			}
+			cells = append(cells, m, p)
+		}
+		rows = append(rows, cells)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			if i == 0 {
+				fmt.Fprintf(&b, "  %-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 2
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString("  " + strings.Repeat("-", total-2) + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's contribution: application-specific
+// safe message handlers (ASHs).
+//
+// An ASH is user-written code, downloaded into the kernel, that runs in
+// the addressing context of its application when a message for that
+// application arrives. The ASH system (one System per host):
+//
+//   - accepts handler object code (vcode programs), verifies and sandboxes
+//     it (package sandbox), and installs it, handing back an identifier
+//     (Section II: "downloads it into the operating system, handing back
+//     an identifier to the user for later reference");
+//   - associates installed handlers with demultiplexing points (AN2
+//     virtual circuits or DPF filters on the Ethernet);
+//   - invokes handlers after demultiplexing, with direct dynamic message
+//     vectoring (handlers place message bytes anywhere in their
+//     application's address space), message initiation (handlers send
+//     replies from the kernel), and control initiation (general
+//     computation);
+//   - integrates data manipulations through dynamic ILP (package pipe):
+//     compiled transfer engines are registered with the system and run via
+//     the trusted ash_dilp entry point with checks aggregated at initiation;
+//   - aborts handlers involuntarily on wild references, divide-by-zero, or
+//     exhausted time budgets, and supports voluntary aborts (the handler
+//     returns the message to the kernel to be handled normally).
+package core
+
+import (
+	"fmt"
+
+	"ashs/internal/aegis"
+	"ashs/internal/pipe"
+	"ashs/internal/sandbox"
+	"ashs/internal/sim"
+	"ashs/internal/vcode"
+)
+
+// ID names an installed ASH.
+type ID int
+
+// System is the per-host ASH system.
+type System struct {
+	K      *aegis.Kernel
+	Policy *sandbox.Policy
+
+	ashes   map[ID]*ASH
+	engines []*registeredEngine
+	nextID  ID
+
+	// RatePerTick bounds how many handler executions each ASH gets per
+	// clock tick; beyond it, messages fall back to the (lazy, fair)
+	// user-level path. This is the receive-livelock defense of
+	// Section VI-4: "the operating system must track the number of ASHs
+	// recently executed for each process and refuse to execute any more
+	// for processes receiving more than their share of messages" —
+	// handlers are "fundamentally an eager technique", disabled under
+	// high load. Zero means unlimited.
+	RatePerTick int
+
+	// InvoluntaryAborts counts handler executions terminated by the system.
+	InvoluntaryAborts uint64
+}
+
+type registeredEngine struct {
+	eng     *pipe.Engine
+	machine *vcode.Machine // holds the engine's persistent registers
+}
+
+// NewSystem creates the ASH system for host k.
+func NewSystem(k *aegis.Kernel) *System {
+	return &System{K: k, Policy: sandbox.DefaultPolicy(), ashes: map[ID]*ASH{}}
+}
+
+// Options configures a download.
+type Options struct {
+	// Unsafe skips sandboxing (kernel-trusted code, used only to measure
+	// sandboxing overhead as the paper does in Table V).
+	Unsafe bool
+	// Budget bounds execution in software-check mode; ignored in timer
+	// mode, where the two-clock-tick watchdog governs.
+	Budget int64
+}
+
+// ASH is an installed handler.
+type ASH struct {
+	ID     ID
+	Name   string
+	Owner  *aegis.Process
+	Unsafe bool
+
+	sys     *System
+	sandbox *sandbox.Program // nil when Unsafe
+	code    *vcode.Program
+	machine *vcode.Machine
+	budget  int64
+	curMC   *aegis.MsgCtx // live only during HandleMsg
+
+	// Handler ABI: on entry RArg0 = message address, RArg1 = message
+	// length, RArg2 = VC, RArg3 = source address. On exit RRet = 0 to
+	// consume the message, nonzero to return it to the kernel (voluntary
+	// abort to the user-level path).
+
+	// Rate limiting (Section VI-4).
+	tickSeen  sim.Time
+	tickCount int
+
+	// Statistics.
+	Invocations      uint64
+	VoluntaryAborts  uint64
+	Throttled        uint64       // executions refused by the livelock defense
+	InvoluntaryFault *vcode.Fault // last involuntary abort, for diagnosis
+
+	// DynamicInsns accumulates executed instructions (for the paper's
+	// instruction-count comparisons).
+	DynamicInsns int64
+}
+
+// Download verifies, sandboxes, and installs prog for owner, returning the
+// handler. Unsafe handlers are still verified (they must be *wrong* only
+// in cost, never in kind) but receive no instrumentation.
+func (s *System) Download(owner *aegis.Process, prog *vcode.Program, opts Options) (*ASH, error) {
+	if owner == nil {
+		return nil, fmt.Errorf("core: ASH needs an owning process (addressing context)")
+	}
+	a := &ASH{
+		ID: s.nextID, Name: prog.Name, Owner: owner, Unsafe: opts.Unsafe,
+		sys: s, budget: opts.Budget,
+	}
+	if opts.Unsafe {
+		if err := sandbox.Verify(prog, s.Policy); err != nil {
+			return nil, err
+		}
+		a.code = prog.Clone()
+	} else {
+		sp, err := sandbox.Sandbox(prog, s.Policy)
+		if err != nil {
+			return nil, err
+		}
+		a.sandbox = sp
+		a.code = sp.Code
+	}
+	a.machine = vcode.NewMachine(s.K.Prof, owner.AS)
+	a.machine.Cache = s.K.Cache
+	a.machine.Syms = s.syscalls(a)
+	if a.sandbox != nil {
+		a.sandbox.Attach(a.machine, 0, ^uint32(0), opts.Budget)
+		// Real addressing enforcement is the owner's address space (the
+		// machine's Memory); the SFI instructions charge the check costs.
+	}
+	s.nextID++
+	s.ashes[a.ID] = a
+	return a, nil
+}
+
+// MustDownload is Download that panics on error.
+func (s *System) MustDownload(owner *aegis.Process, prog *vcode.Program, opts Options) *ASH {
+	a, err := s.Download(owner, prog, opts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// RegisterEngine installs a compiled DILP transfer engine and returns the
+// id handlers pass to ash_dilp. The engine's persistent registers (e.g.
+// checksum accumulators) live with the registration.
+func (s *System) RegisterEngine(e *pipe.Engine) int {
+	m := vcode.NewMachine(s.K.Prof, s.K.Mem)
+	m.Cache = s.K.Cache
+	s.engines = append(s.engines, &registeredEngine{eng: e, machine: m})
+	return len(s.engines) - 1
+}
+
+// AttachVC installs the handler on an AN2 virtual-circuit binding.
+func (a *ASH) AttachVC(b *aegis.VCBinding) { b.Handler = a }
+
+// AttachEth installs the handler on an Ethernet filter binding.
+func (a *ASH) AttachEth(b *aegis.EthBinding) { b.Handler = a }
+
+// HandleMsg implements aegis.MsgHandler: the kernel invokes the ASH after
+// demultiplexing.
+func (a *ASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
+	prof := a.sys.K.Prof
+	if limit := a.sys.RatePerTick; limit > 0 {
+		tick := a.sys.K.Now() / sim.Time(prof.ClockTickCycles)
+		if tick != a.tickSeen {
+			a.tickSeen = tick
+			a.tickCount = 0
+		}
+		if a.tickCount >= limit {
+			// Over its share this tick: refuse eager execution, let the
+			// message take the lazy user-level path.
+			a.Throttled++
+			mc.Charge(2) // the refusal check itself
+			return aegis.DispToUser
+		}
+		a.tickCount++
+	}
+	a.Invocations++
+	m := a.machine
+	a.curMC = mc
+
+	// Time bounding (Section III-B3) is orthogonal to memory protection:
+	// the watchdog timer is armed for every safe handler except under the
+	// software-budget strategy, whose inserted checks replace it
+	// ("systems with timers can be exploited to remove all software
+	// checks" — and vice versa).
+	useTimer := !a.Unsafe && (a.sandbox == nil || a.sandbox.Policy.Budget != sandbox.BudgetSoftware)
+	if useTimer {
+		mc.Charge(sim.Time(prof.TimerArmCycles))
+		m.CycleLimit = 2 * sim.Time(prof.ClockTickCycles)
+	} else {
+		m.CycleLimit = 0
+	}
+
+	m.Regs[vcode.RArg0] = mc.Entry.Addr
+	m.Regs[vcode.RArg1] = uint32(mc.Entry.Len)
+	m.Regs[vcode.RArg2] = uint32(mc.Entry.VC)
+	m.Regs[vcode.RArg3] = uint32(mc.Entry.Src)
+
+	fault := m.Run(a.code)
+	mc.Charge(m.Cycles)
+	a.DynamicInsns += m.Insns
+	if useTimer {
+		mc.Charge(sim.Time(prof.TimerArmCycles)) // clear the watchdog
+	}
+	a.curMC = nil
+
+	if fault != nil {
+		// Involuntary abort: the system protects itself; the application
+		// "may no longer operate correctly". The message falls back to
+		// the normal user-level path so the application can observe it.
+		a.InvoluntaryFault = fault
+		a.sys.InvoluntaryAborts++
+		return aegis.DispToUser
+	}
+	if m.Regs[vcode.RRet] != 0 {
+		// Voluntary abort: the handler examined the message and returned
+		// it to the kernel to be handled normally.
+		a.VoluntaryAborts++
+		return aegis.DispToUser
+	}
+	return aegis.DispConsumed
+}
+
+// AsUpcall wraps the same handler code as a fast asynchronous upcall: it
+// runs at user level (no sandboxing needed, but upcall dispatch costs and
+// system-call sends apply), so the paper's ASH-vs-upcall comparisons run
+// identical handler code in both placements.
+func (a *ASH) AsUpcall() *aegis.Upcall {
+	return aegis.NewUpcall(a.Owner, a.HandleMsg)
+}
+
+// LastInsns reports the dynamic instruction count of the most recent run.
+func (a *ASH) LastInsns() int64 { return a.machine.Insns }
+
+// AddedStatic reports how many instructions sandboxing added (0 if unsafe).
+func (a *ASH) AddedStatic() int {
+	if a.sandbox == nil {
+		return 0
+	}
+	return a.sandbox.AddedStatic
+}

@@ -1,0 +1,162 @@
+package netdev
+
+import (
+	"testing"
+
+	"ashs/internal/mach"
+	"ashs/internal/sim"
+)
+
+func newAN2(t *testing.T) (*sim.Engine, *Switch) {
+	t.Helper()
+	eng := sim.NewEngine()
+	return eng, NewSwitch(eng, mach.DS5000_240(), AN2Config())
+}
+
+func TestAN2HardwareRoundTrip(t *testing.T) {
+	// The calibration anchor: a 4-byte hardware ping-pong costs ~96 us.
+	eng, sw := newAN2(t)
+	a, b := sw.NewPort(), sw.NewPort()
+
+	var done sim.Time
+	b.SetReceiver(func(pkt *Packet) {
+		if err := b.Transmit(&Packet{Dst: a.Addr(), Data: pkt.Data}); err != nil {
+			t.Error(err)
+		}
+	})
+	a.SetReceiver(func(pkt *Packet) { done = eng.Now() })
+	if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	us := sw.Prof.Us(done)
+	if us < 90 || us > 102 {
+		t.Fatalf("AN2 hw round trip = %.1f us, want ~96 (paper Section IV-C)", us)
+	}
+}
+
+func TestAN2TrainApproachesLinkBandwidth(t *testing.T) {
+	// Pipelining: a long train of 4-KB packets should arrive at close to
+	// the 16.8 MB/s payload bandwidth despite the 48 us fixed latency.
+	eng, sw := newAN2(t)
+	a, b := sw.NewPort(), sw.NewPort()
+	const pkts, size = 64, 4096
+	var lastArrival sim.Time
+	got := 0
+	b.SetReceiver(func(pkt *Packet) { got++; lastArrival = eng.Now() })
+	var firstDeparture sim.Time = -1
+	for i := 0; i < pkts; i++ {
+		if firstDeparture < 0 {
+			firstDeparture = eng.Now()
+		}
+		if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, size)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if got != pkts {
+		t.Fatalf("delivered %d/%d", got, pkts)
+	}
+	mbps := sw.Prof.MBps(pkts*size, lastArrival-firstDeparture)
+	if mbps < 14.5 || mbps > 16.9 {
+		t.Fatalf("train throughput = %.2f MB/s, want near 16.8 (Fig. 3 ceiling)", mbps)
+	}
+}
+
+func TestEthernetSlowerAndMinFrame(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, mach.DS5000_240(), EthernetConfig())
+	a, b := sw.NewPort(), sw.NewPort()
+	var at sim.Time
+	b.SetReceiver(func(pkt *Packet) { at = eng.Now() })
+	if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	us := sw.Prof.Us(at)
+	// 64-byte min frame at 1.25 B/us = 51.2 us + 1 per-packet + 60 fixed
+	// = ~112 us one way.
+	if us < 105 || us > 120 {
+		t.Fatalf("Ethernet one-way 4B = %.1f us, want ~112", us)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, mach.DS5000_240(), EthernetConfig())
+	a, b := sw.NewPort(), sw.NewPort()
+	if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, 4000)}); err == nil {
+		t.Fatal("oversize Ethernet frame accepted")
+	}
+	_ = eng
+}
+
+func TestBadDestinationRejected(t *testing.T) {
+	eng, sw := newAN2(t)
+	a := sw.NewPort()
+	_ = eng
+	if err := a.Transmit(&Packet{Dst: 7, Data: []byte{1}}); err == nil {
+		t.Fatal("transmit to nonexistent port accepted")
+	}
+}
+
+func TestInjectDrop(t *testing.T) {
+	eng, sw := newAN2(t)
+	a, b := sw.NewPort(), sw.NewPort()
+	drops := 0
+	sw.Inject = func(p *Packet) bool {
+		drops++
+		return drops > 1 // drop the first packet only
+	}
+	var got [][]byte
+	b.SetReceiver(func(pkt *Packet) { got = append(got, pkt.Data) })
+	_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{1}})
+	_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{2}})
+	eng.Run()
+	if len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("delivered %v, want only packet 2", got)
+	}
+	if sw.Dropped != 1 || sw.Delivered != 1 {
+		t.Fatalf("stats: dropped=%d delivered=%d", sw.Dropped, sw.Delivered)
+	}
+}
+
+func TestVCCarried(t *testing.T) {
+	eng, sw := newAN2(t)
+	a, b := sw.NewPort(), sw.NewPort()
+	var vc int
+	b.SetReceiver(func(pkt *Packet) { vc = pkt.VC })
+	_ = a.Transmit(&Packet{Dst: b.Addr(), VC: 42, Data: []byte{0}})
+	eng.Run()
+	if vc != 42 {
+		t.Fatalf("VC = %d, want 42", vc)
+	}
+}
+
+func TestSrcFilledIn(t *testing.T) {
+	eng, sw := newAN2(t)
+	a, b := sw.NewPort(), sw.NewPort()
+	src := -1
+	b.SetReceiver(func(pkt *Packet) { src = pkt.Src })
+	_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{0}})
+	eng.Run()
+	if src != a.Addr() {
+		t.Fatalf("Src = %d, want %d", src, a.Addr())
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	eng, sw := newAN2(t)
+	a, b := sw.NewPort(), sw.NewPort()
+	var order []byte
+	b.SetReceiver(func(pkt *Packet) { order = append(order, pkt.Data[0]) })
+	for i := 0; i < 10; i++ {
+		_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{byte(i)}})
+	}
+	eng.Run()
+	for i := range order {
+		if order[i] != byte(i) {
+			t.Fatalf("out of order delivery: %v", order)
+		}
+	}
+}

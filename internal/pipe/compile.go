@@ -1,0 +1,372 @@
+package pipe
+
+import (
+	"fmt"
+
+	"ashs/internal/sim"
+	"ashs/internal/vcode"
+)
+
+// Options configures DILP compilation (the paper's compile_pl second
+// argument: PIPE_WRITE produces a copying engine).
+type Options struct {
+	// Output controls whether the engine writes transformed words to the
+	// destination (a copying engine) or only traverses the source (a pure
+	// manipulation pass such as checksum verification).
+	Output bool
+	// StripedSrc selects the Ethernet DMA engine's back end: the source is
+	// laid out as alternating 16-byte data and padding lines (Section
+	// III-C: "our Ethernet DMA engine stripes an N-byte contiguous packet
+	// into a 2N-byte buffer... Different loops may be generated for
+	// different network interfaces"). The generated loop unrolls by one
+	// data line and skips the pad; lengths must be multiples of 16.
+	StripedSrc bool
+}
+
+// Engine is a compiled integrated transfer engine: the specialized data
+// copying loop the DILP system generates (the paper's ilp handle). Run it
+// against a machine to move/manipulate a buffer while charging exactly the
+// cycles the generated loop would cost.
+type Engine struct {
+	Prog    *vcode.Program
+	output  bool
+	striped bool
+	// regmap translates each pipe's own registers into the fused
+	// program's register space ("binding the context inside the pipe").
+	regmap map[int]map[vcode.Reg]vcode.Reg
+}
+
+// asm is a tiny absolute assembler used by the fusion compiler.
+type asm struct {
+	ins     []vcode.Insn
+	nextReg vcode.Reg
+}
+
+func newAsm() *asm { return &asm{nextReg: 8} }
+
+func (a *asm) reg() vcode.Reg {
+	r := a.nextReg
+	for r == vcode.RSbox || r == vcode.RInput {
+		r++
+	}
+	if r >= vcode.NumRegs {
+		panic("pipe: fused engine out of registers")
+	}
+	a.nextReg = r + 1
+	return r
+}
+
+func (a *asm) emit(in vcode.Insn) int {
+	a.ins = append(a.ins, in)
+	return len(a.ins) - 1
+}
+
+func (a *asm) here() int { return len(a.ins) }
+
+// Compile fuses the pipe list into one integrated engine (dynamic ILP).
+// The generated loop streams 32-bit words: load, apply every pipe in
+// order (with gauge conversions), optionally store, advance. With
+// StripedSrc the loop is unrolled by one 16-byte data line and skips the
+// interleaved padding lines.
+//
+// Calling convention of the generated program: RArg0 = source address,
+// RArg1 = destination address, RArg2 = byte count (multiple of 4;
+// multiple of 16 for striped sources).
+func Compile(l *List, opts Options) (*Engine, error) {
+	a := newAsm()
+	regmap := map[int]map[vcode.Reg]vcode.Reg{}
+
+	idx := a.reg()
+	cur := a.reg()
+	var sidx vcode.Reg
+	if opts.StripedSrc {
+		sidx = a.reg() // source index advances 2x per line (data + pad)
+	}
+
+	// Pre-map every pipe's registers so persistent registers are stable
+	// regardless of loop structure.
+	for _, p := range l.pipes {
+		pm := map[vcode.Reg]vcode.Reg{}
+		for _, r := range collectRegs(p.Body) {
+			if r == vcode.RZero || r == p.inReg {
+				continue
+			}
+			pm[r] = a.reg()
+		}
+		regmap[p.ID] = pm
+	}
+
+	// if len == 0 goto end (patched below).
+	guard := a.emit(vcode.Insn{Op: vcode.OpBeq, Rs: vcode.RArg2, Rt: vcode.RZero})
+	a.emit(vcode.Insn{Op: vcode.OpMovI, Rd: idx, Imm: 0})
+	if opts.StripedSrc {
+		a.emit(vcode.Insn{Op: vcode.OpMovI, Rd: sidx, Imm: 0})
+	}
+	loop := a.here()
+
+	unroll := 1
+	if opts.StripedSrc {
+		unroll = 4 // one 16-byte data line per iteration
+	}
+	for u := 0; u < unroll; u++ {
+		srcIdx := idx
+		if opts.StripedSrc {
+			srcIdx = sidx
+		}
+		a.emit(vcode.Insn{Op: vcode.OpLd32X, Rd: cur, Rs: vcode.RArg0, Rt: srcIdx})
+		word := cur
+		for _, p := range l.pipes {
+			var err error
+			word, err = inlinePipe(a, p, regmap[p.ID], word)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if opts.Output {
+			a.emit(vcode.Insn{Op: vcode.OpSt32X, Rs: vcode.RArg1, Rt: idx, Rd: word})
+		}
+		a.emit(vcode.Insn{Op: vcode.OpAddIU, Rd: idx, Rs: idx, Imm: 4})
+		if opts.StripedSrc {
+			a.emit(vcode.Insn{Op: vcode.OpAddIU, Rd: sidx, Rs: sidx, Imm: 4})
+		}
+	}
+	if opts.StripedSrc {
+		// Skip the 16-byte padding line.
+		a.emit(vcode.Insn{Op: vcode.OpAddIU, Rd: sidx, Rs: sidx, Imm: 16})
+	}
+	a.emit(vcode.Insn{Op: vcode.OpBltU, Rs: idx, Rt: vcode.RArg2, Target: loop})
+	end := a.here()
+	a.emit(vcode.Insn{Op: vcode.OpRet})
+	a.ins[guard].Target = end
+
+	// Collect remapped persistent registers.
+	var persist []vcode.Reg
+	for _, p := range l.pipes {
+		for _, r := range p.persist {
+			persist = append(persist, regmap[p.ID][r])
+		}
+	}
+
+	name := "dilp"
+	for _, p := range l.pipes {
+		name += "+" + p.Name
+	}
+	if opts.StripedSrc {
+		name += ".striped"
+	}
+	return &Engine{
+		Prog: &vcode.Program{
+			Name:       name,
+			Insns:      a.ins,
+			Persistent: persist,
+			NextReg:    a.nextReg,
+		},
+		output:  opts.Output,
+		striped: opts.StripedSrc,
+		regmap:  regmap,
+	}, nil
+}
+
+// CompileCopy returns a pure copying engine (no pipes): the baseline
+// "single copy" data-transfer loop.
+func CompileCopy() *Engine {
+	e, err := Compile(NewList(0), Options{Output: true})
+	if err != nil {
+		panic(err) // empty list cannot fail
+	}
+	e.Prog.Name = "copy"
+	return e
+}
+
+// CompilePass compiles a single pipe as a standalone, non-integrated
+// traversal (one full pass over memory), for the Table IV "separate"
+// strategy. NoMod pipes read without writing back; modifying pipes rewrite
+// the buffer in place (run with src == dst) or into a destination.
+func CompilePass(p *Pipe) (*Engine, error) {
+	l := NewList(1)
+	l.pipes = append(l.pipes, p)
+	l.nextID = p.ID + 1
+	return Compile(l, Options{Output: p.Attrs&NoMod == 0})
+}
+
+// CompileSeparate compiles every pipe in the list as its own pass, in
+// order: the non-integrated processing strategy.
+func CompileSeparate(l *List) ([]*Engine, error) {
+	var engines []*Engine
+	for _, p := range l.pipes {
+		e, err := CompilePass(p)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, e)
+	}
+	return engines, nil
+}
+
+// collectRegs returns every register the body names (other than R0).
+func collectRegs(prog *vcode.Program) []vcode.Reg {
+	seen := map[vcode.Reg]bool{}
+	var out []vcode.Reg
+	add := func(r vcode.Reg) {
+		if r != vcode.RZero && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, in := range prog.Insns {
+		add(in.Rd)
+		add(in.Rs)
+		add(in.Rt)
+	}
+	return out
+}
+
+// inlinePipe emits pipe p's body with its input mapped to register word,
+// returning the register holding the pipe's output. Narrow-gauge pipes are
+// applied 32/G times with extraction and merge code (gauge conversion).
+func inlinePipe(a *asm, p *Pipe, pm map[vcode.Reg]vcode.Reg, word vcode.Reg) (vcode.Reg, error) {
+	if p.Gauge == Gauge32 {
+		return inlineBodyOnce(a, p, pm, word)
+	}
+
+	g := int32(p.Gauge)
+	chunks := 32 / int(g)
+	mask := int32((int64(1) << g) - 1)
+	chunkIn := a.reg()
+	var merged vcode.Reg
+	modifies := p.Attrs&NoMod == 0
+	if modifies {
+		merged = a.reg()
+		a.emit(vcode.Insn{Op: vcode.OpMovI, Rd: merged, Imm: 0})
+	}
+	for i := 0; i < chunks; i++ {
+		shift := 32 - g*int32(i+1)
+		if shift != 0 {
+			a.emit(vcode.Insn{Op: vcode.OpSrlI, Rd: chunkIn, Rs: word, Imm: shift})
+			a.emit(vcode.Insn{Op: vcode.OpAndI, Rd: chunkIn, Rs: chunkIn, Imm: mask})
+		} else {
+			a.emit(vcode.Insn{Op: vcode.OpAndI, Rd: chunkIn, Rs: word, Imm: mask})
+		}
+		out, err := inlineBodyOnce(a, p, pm, chunkIn)
+		if err != nil {
+			return 0, err
+		}
+		if modifies {
+			if shift != 0 {
+				tmp := chunkIn // reuse as shift scratch
+				a.emit(vcode.Insn{Op: vcode.OpSllI, Rd: tmp, Rs: out, Imm: shift})
+				a.emit(vcode.Insn{Op: vcode.OpOr, Rd: merged, Rs: merged, Rt: tmp})
+			} else {
+				a.emit(vcode.Insn{Op: vcode.OpOr, Rd: merged, Rs: merged, Rt: out})
+			}
+		}
+	}
+	if modifies {
+		return merged, nil
+	}
+	return word, nil
+}
+
+// inlineBodyOnce emits the pipe body once with input register in, applying
+// the register map and retargeting internal branches.
+func inlineBodyOnce(a *asm, p *Pipe, pm map[vcode.Reg]vcode.Reg, in vcode.Reg) (vcode.Reg, error) {
+	body := p.Body.Insns
+	// Drop Input32 (index 0), Output32 (len-2) and Ret (len-1).
+	inner := body[1 : len(body)-2]
+	start := a.here()
+	mapReg := func(r vcode.Reg) vcode.Reg {
+		if r == p.inReg {
+			return in
+		}
+		if r == vcode.RZero {
+			return r
+		}
+		if m, ok := pm[r]; ok {
+			return m
+		}
+		return r
+	}
+	for _, insn := range inner {
+		if writesTo(insn, p.inReg) {
+			return 0, fmt.Errorf("pipe %s: body writes its input register; cannot coalesce", p.Name)
+		}
+		out := insn
+		out.Rd = mapReg(insn.Rd)
+		out.Rs = mapReg(insn.Rs)
+		out.Rt = mapReg(insn.Rt)
+		switch insn.Op {
+		case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+			// Body targets are in [1, len-2]; re-base onto the fused code.
+			out.Target = start + (insn.Target - 1)
+		}
+		a.emit(out)
+	}
+	return mapReg(p.outReg), nil
+}
+
+func writesTo(in vcode.Insn, r vcode.Reg) bool {
+	if r == vcode.RZero {
+		return false
+	}
+	if in.Op.IsStore() {
+		return false
+	}
+	switch in.Op {
+	case vcode.OpNop, vcode.OpRet, vcode.OpJmp, vcode.OpJmpR,
+		vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpOutput32:
+		return false
+	}
+	return in.Rd == r
+}
+
+// RegOf translates a pipe's own register handle (e.g. the checksum
+// accumulator returned by Cksum) into the fused program's register.
+func (e *Engine) RegOf(p *Pipe, r vcode.Reg) vcode.Reg {
+	if m, ok := e.regmap[p.ID]; ok {
+		if f, ok := m[r]; ok {
+			return f
+		}
+	}
+	return r
+}
+
+// Export sets a pipe's persistent register before a run (the paper:
+// "Export is used to initialize a register before use").
+func (e *Engine) Export(m *vcode.Machine, p *Pipe, r vcode.Reg, v uint32) {
+	m.Regs[e.RegOf(p, r)] = v
+}
+
+// Import reads a pipe's persistent register after a run ("import to obtain
+// a register's value, e.g. to determine if a checksum succeeded").
+func (e *Engine) Import(m *vcode.Machine, p *Pipe, r vcode.Reg) uint32 {
+	return m.Regs[e.RegOf(p, r)]
+}
+
+// Run executes the engine over [src, src+n) -> [dst, dst+n) on machine m
+// and returns the cycles charged. n must be a multiple of 4 (the paper's
+// pipes assume word-multiple messages); protocols pad odd tails.
+func (e *Engine) Run(m *vcode.Machine, src, dst uint32, n int) (sim.Time, *vcode.Fault) {
+	if n%4 != 0 {
+		return 0, &vcode.Fault{Kind: vcode.FaultUnaligned, Msg: "DILP length not a multiple of 4"}
+	}
+	if e.striped && n%16 != 0 {
+		return 0, &vcode.Fault{Kind: vcode.FaultUnaligned, Msg: "striped DILP length not a multiple of 16"}
+	}
+	// Persistent registers must survive Run's counter reset but argument
+	// registers are ours to set.
+	m.Regs[vcode.RArg0] = src
+	m.Regs[vcode.RArg1] = dst
+	m.Regs[vcode.RArg2] = uint32(n)
+	f := m.Run(e.Prog)
+	return m.Cycles, f
+}
+
+// Fold16 folds a 32-bit ones-complement accumulator into the final 16-bit
+// Internet checksum value (the handler is "responsible for ... folding it
+// to 16 bits").
+func Fold16(v uint32) uint16 {
+	for v>>16 != 0 {
+		v = v&0xffff + v>>16
+	}
+	return uint16(v)
+}

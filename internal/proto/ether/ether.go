@@ -1,0 +1,71 @@
+// Package ether implements Ethernet II framing for the user-level
+// protocol library (Section IV-D). Hardware addresses are synthesized from
+// switch port numbers, which is what the simulated segment delivers on.
+package ether
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit hardware address.
+type MAC [6]byte
+
+// EtherTypes used by the stack.
+const (
+	TypeIPv4 = 0x0800
+	TypeARP  = 0x0806
+)
+
+// HeaderLen is the Ethernet II header size.
+const HeaderLen = 14
+
+// BroadcastMAC is the all-ones hardware broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// PortMAC synthesizes the locally-administered MAC of a switch port.
+func PortMAC(port int) MAC {
+	return MAC{0x02, 0x00, 0x00, 0x00, byte(port >> 8), byte(port)}
+}
+
+// PortOfMAC recovers the switch port from a synthesized MAC.
+func PortOfMAC(m MAC) (int, bool) {
+	if m[0] != 0x02 || m[1] != 0 || m[2] != 0 || m[3] != 0 {
+		return 0, false
+	}
+	return int(m[4])<<8 | int(m[5]), true
+}
+
+// String formats the address conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// Header is an Ethernet II header.
+type Header struct {
+	Dst  MAC
+	Src  MAC
+	Type uint16
+}
+
+// Marshal appends the wire form of the header to b.
+func (h *Header) Marshal(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, h.Type)
+}
+
+// Unmarshal parses a header from the front of b.
+func Unmarshal(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, fmt.Errorf("ether: truncated header (%d bytes)", len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}

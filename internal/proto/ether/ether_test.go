@@ -1,0 +1,56 @@
+package ether
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Dst: PortMAC(3), Src: PortMAC(7), Type: TypeIPv4}
+	b := h.Marshal(nil)
+	if len(b) != HeaderLen {
+		t.Fatalf("marshal length %d", len(b))
+	}
+	got, err := Unmarshal(b)
+	if err != nil || got != h {
+		t.Fatalf("Unmarshal = %+v, %v", got, err)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 13)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestPortMACRoundTrip(t *testing.T) {
+	err := quick.Check(func(port uint16) bool {
+		m := PortMAC(int(port))
+		got, ok := PortOfMAC(m)
+		return ok && got == int(port)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortOfMACRejectsForeign(t *testing.T) {
+	if _, ok := PortOfMAC(MAC{0xde, 0xad, 0xbe, 0xef, 0, 1}); ok {
+		t.Fatal("foreign MAC resolved to a port")
+	}
+	if _, ok := PortOfMAC(BroadcastMAC); ok {
+		t.Fatal("broadcast MAC resolved to a port")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if !BroadcastMAC.IsBroadcast() {
+		t.Fatal("broadcast not broadcast")
+	}
+	if PortMAC(1).IsBroadcast() {
+		t.Fatal("unicast claims broadcast")
+	}
+	if PortMAC(1).String() != "02:00:00:00:00:01" {
+		t.Fatalf("String = %s", PortMAC(1))
+	}
+}

@@ -1,0 +1,143 @@
+// Package http is a minimal HTTP/1.0 implementation over the tcp library
+// (the paper's protocol suite includes HTTP among its user-level
+// protocols). One request per connection: GET and HEAD, a static route
+// table, Content-Length framing.
+package http
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ashs/internal/aegis"
+	"ashs/internal/proto/tcp"
+)
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Status int
+	Reason string
+	Header map[string]string
+	Body   []byte
+}
+
+// Server serves a static route table.
+type Server struct {
+	Routes map[string][]byte
+}
+
+// ioBuf allocates a scratch segment for wire I/O on conn's host.
+func ioBuf(conn *tcp.Conn, n int) aegis.Segment {
+	return conn.St.Ep.Owner().AS.Alloc(n, "http-io")
+}
+
+// readUntilBlankLine reads header bytes up to and including CRLFCRLF.
+func readUntilBlankLine(conn *tcp.Conn, seg aegis.Segment) (string, error) {
+	k := conn.St.Ep.Kernel()
+	got := 0
+	for {
+		n, err := conn.Read(seg.Base+uint32(got), int(seg.Len)-got)
+		if err != nil {
+			return "", err
+		}
+		got += n
+		s := string(k.Bytes(seg.Base, got))
+		if i := strings.Index(s, "\r\n\r\n"); i >= 0 {
+			return s, nil
+		}
+		if got >= int(seg.Len) {
+			return "", fmt.Errorf("http: header too large")
+		}
+	}
+}
+
+// Serve handles one request on an established connection and closes it.
+func (s *Server) Serve(conn *tcp.Conn) error {
+	seg := ioBuf(conn, 8192)
+	raw, err := readUntilBlankLine(conn, seg)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(raw, "\r\n")
+	fields := strings.Fields(lines[0])
+	if len(fields) < 3 {
+		return s.respond(conn, 400, "Bad Request", []byte("malformed request line\n"))
+	}
+	method, path := fields[0], fields[1]
+	if method != "GET" && method != "HEAD" {
+		return s.respond(conn, 501, "Not Implemented", []byte("method not implemented\n"))
+	}
+	body, ok := s.Routes[path]
+	if !ok {
+		return s.respond(conn, 404, "Not Found", []byte("no such document\n"))
+	}
+	if method == "HEAD" {
+		body = nil
+	}
+	return s.respond(conn, 200, "OK", body)
+}
+
+func (s *Server) respond(conn *tcp.Conn, status int, reason string, body []byte) error {
+	hdr := fmt.Sprintf("HTTP/1.0 %d %s\r\nContent-Length: %d\r\nServer: ashs-exo\r\n\r\n",
+		status, reason, len(body))
+	msg := append([]byte(hdr), body...)
+	if err := conn.WriteBytes(msg); err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// Get performs one GET request over an established connection. The
+// connection is consumed (HTTP/1.0 semantics).
+func Get(conn *tcp.Conn, path string) (*Response, error) {
+	req := fmt.Sprintf("GET %s HTTP/1.0\r\nUser-Agent: ashs-exo\r\n\r\n", path)
+	if err := conn.WriteBytes([]byte(req)); err != nil {
+		return nil, err
+	}
+	seg := ioBuf(conn, 96*1024)
+	raw, err := readUntilBlankLine(conn, seg)
+	if err != nil {
+		return nil, err
+	}
+	k := conn.St.Ep.Kernel()
+
+	headerEnd := strings.Index(raw, "\r\n\r\n") + 4
+	lines := strings.Split(raw[:headerEnd-4], "\r\n")
+	fields := strings.SplitN(lines[0], " ", 3)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "HTTP/1.") {
+		return nil, fmt.Errorf("http: malformed status line %q", lines[0])
+	}
+	status, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("http: bad status %q", fields[1])
+	}
+	resp := &Response{Status: status, Header: map[string]string{}}
+	if len(fields) == 3 {
+		resp.Reason = fields[2]
+	}
+	for _, l := range lines[1:] {
+		if i := strings.Index(l, ":"); i > 0 {
+			resp.Header[strings.ToLower(strings.TrimSpace(l[:i]))] = strings.TrimSpace(l[i+1:])
+		}
+	}
+	clen, err := strconv.Atoi(resp.Header["content-length"])
+	if err != nil {
+		return nil, fmt.Errorf("http: missing Content-Length")
+	}
+
+	if headerEnd+clen > int(seg.Len) {
+		return nil, fmt.Errorf("http: response of %d bytes exceeds the %d-byte buffer", headerEnd+clen, seg.Len)
+	}
+	total := len(raw) // bytes of the response already in seg
+	for total < headerEnd+clen {
+		n, err := conn.Read(seg.Base+uint32(total), int(seg.Len)-total)
+		if err != nil {
+			return nil, err
+		}
+		total += n
+	}
+	all := k.Bytes(seg.Base, headerEnd+clen)
+	resp.Body = append([]byte(nil), all[headerEnd:]...)
+	_ = conn.Close()
+	return resp, nil
+}

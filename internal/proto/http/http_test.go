@@ -1,0 +1,125 @@
+package http
+
+import (
+	"math/rand"
+	"testing"
+
+	"ashs/internal/aegis"
+	"ashs/internal/core"
+	"ashs/internal/mach"
+	"ashs/internal/netdev"
+	"ashs/internal/proto/ip"
+	"ashs/internal/proto/link"
+	"ashs/internal/proto/tcp"
+	"ashs/internal/sim"
+)
+
+// serveOnce spins up a one-request HTTP server and client in the given
+// TCP mode and returns the client's response.
+func serveOnce(t *testing.T, mode tcp.Mode, path string, routes map[string][]byte) *Response {
+	t.Helper()
+	eng := sim.NewEngine()
+	prof := mach.DS5000_240()
+	sw := netdev.NewSwitch(eng, prof, netdev.AN2Config())
+	k1 := aegis.NewKernel("client", eng, prof)
+	k2 := aegis.NewKernel("server", eng, prof)
+	a1, a2 := aegis.NewAN2(k1, sw), aegis.NewAN2(k2, sw)
+	sys1, sys2 := core.NewSystem(k1), core.NewSystem(k2)
+	ip1, ip2 := ip.HostAddr(a1.Addr()), ip.HostAddr(a2.Addr())
+
+	stackFor := func(p *aegis.Process, iface *aegis.AN2If, local ip.Addr) *ip.Stack {
+		ep, err := link.BindAN2(iface, p, 3, 16, iface.MaxFrame())
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return ip.NewStack(ep, local, ip.StaticResolver{
+			ip1: {Port: a1.Addr(), VC: 3},
+			ip2: {Port: a2.Addr(), VC: 3},
+		})
+	}
+
+	var resp *Response
+	k2.Spawn("httpd", func(p *aegis.Process) {
+		st := stackFor(p, a2, ip2)
+		if st == nil {
+			return
+		}
+		cfg := tcp.DefaultConfig()
+		cfg.Mode = mode
+		cfg.Sys = sys2
+		conn, err := tcp.Accept(st, cfg, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		srv := &Server{Routes: routes}
+		if err := srv.Serve(conn); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	k1.Spawn("browser", func(p *aegis.Process) {
+		st := stackFor(p, a1, ip1)
+		if st == nil {
+			return
+		}
+		cfg := tcp.DefaultConfig()
+		cfg.Mode = mode
+		cfg.Sys = sys1
+		conn, err := tcp.Connect(st, cfg, 1234, ip2, 80)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r, err := Get(conn, path)
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		resp = r
+	})
+	eng.Run()
+	return resp
+}
+
+func TestGetSmallDocument(t *testing.T) {
+	routes := map[string][]byte{"/index.html": []byte("<html>exokernel ash demo</html>\n")}
+	r := serveOnce(t, tcp.ModeUser, "/index.html", routes)
+	if r == nil {
+		t.Fatal("no response")
+	}
+	if r.Status != 200 {
+		t.Fatalf("status = %d", r.Status)
+	}
+	if string(r.Body) != string(routes["/index.html"]) {
+		t.Fatalf("body = %q", r.Body)
+	}
+}
+
+func TestGet404(t *testing.T) {
+	r := serveOnce(t, tcp.ModeUser, "/nope", map[string][]byte{"/x": []byte("y")})
+	if r == nil || r.Status != 404 {
+		t.Fatalf("response = %+v", r)
+	}
+}
+
+func TestGetLargeDocumentOverASHFastPath(t *testing.T) {
+	body := make([]byte, 40000)
+	rand.New(rand.NewSource(7)).Read(body)
+	// Keep it text-ish to avoid accidental CRLFCRLF in headers parsing:
+	// body bytes are irrelevant to framing (Content-Length), so any bytes
+	// work; verify integrity end to end.
+	routes := map[string][]byte{"/big": body}
+	r := serveOnce(t, tcp.ModeASH, "/big", routes)
+	if r == nil {
+		t.Fatal("no response")
+	}
+	if r.Status != 200 || len(r.Body) != len(body) {
+		t.Fatalf("status=%d len=%d", r.Status, len(r.Body))
+	}
+	for i := range body {
+		if r.Body[i] != body[i] {
+			t.Fatalf("body corrupt at %d", i)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package link
+
+import (
+	"ashs/internal/aegis"
+	"ashs/internal/sim"
+)
+
+// Costed data-movement helpers for the user-level protocol libraries.
+// Each pass moves real bytes and charges the calling process the cycles
+// the DECstation memory model assigns: per 32-bit word, a (cache-modeled)
+// load, a store for copies, the loop overhead, and the checksum accumulate
+// when integrated. These are the same primitive costs the DILP engines
+// charge, so library passes and generated engines are directly comparable
+// (Table IV).
+
+// CksumData folds data into a 32-bit ones-complement accumulator
+// (RFC 1071): big-endian 16-bit words, odd tail zero-padded. Pure
+// computation — no cycles charged.
+func CksumData(acc uint32, data []byte) uint32 {
+	i := 0
+	for ; i+1 < len(data); i += 2 {
+		acc = cksumStep(acc, uint32(data[i])<<8|uint32(data[i+1]))
+	}
+	if i < len(data) {
+		acc = cksumStep(acc, uint32(data[i])<<8)
+	}
+	return acc
+}
+
+func cksumStep(acc, v uint32) uint32 {
+	s := uint64(acc) + uint64(v)
+	return uint32(s) + uint32(s>>32)
+}
+
+// FoldCksum reduces an accumulator to the 16-bit Internet checksum value
+// (not yet complemented).
+func FoldCksum(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return uint16(acc)
+}
+
+// passCost charges one streaming pass over n bytes: loads at src
+// addresses (stride-aware), optional stores at dst, loop overhead, and
+// opCycles of ALU work per word.
+func passCost(k *aegis.Kernel, srcAddr func(off int) uint32, dstAddr uint32, n int, store bool, opCycles int) sim.Time {
+	var cycles sim.Time
+	prof := k.Prof
+	for off := 0; off < n; off += 4 {
+		cycles += k.Cache.Load(srcAddr(off))
+		if store {
+			cycles += k.Cache.Store(dstAddr + uint32(off))
+		}
+		cycles += sim.Time(prof.LoopOverhead + opCycles)
+	}
+	return cycles
+}
+
+// CopyRange copies [src, src+n) to [dst, dst+n) in host memory, charging
+// process p. With cksum, the Internet checksum is integrated into the same
+// pass (one traversal); the accumulator over the copied bytes is returned.
+func CopyRange(p *aegis.Process, k *aegis.Kernel, src, dst uint32, n int, cksum bool) uint32 {
+	op := 0
+	if cksum {
+		op = k.Prof.CksumOp
+	}
+	cycles := passCost(k, func(off int) uint32 { return src + uint32(off) }, dst, n, true, op)
+	b := k.Bytes(src, n)
+	copy(k.Bytes(dst, n), b)
+	var acc uint32
+	if cksum {
+		acc = CksumData(0, b)
+	}
+	p.Compute(cycles)
+	return acc
+}
+
+// CksumRange traverses [addr, addr+n) computing the checksum (no copy).
+func CksumRange(p *aegis.Process, k *aegis.Kernel, addr uint32, n int) uint32 {
+	cycles := passCost(k, func(off int) uint32 { return addr + uint32(off) }, 0, n, false, k.Prof.CksumOp)
+	p.Compute(cycles)
+	return CksumData(0, k.Bytes(addr, n))
+}
+
+// frameSrc returns the (stripe-aware) address function for frame payload
+// starting at off.
+func frameSrc(f Frame, off int) func(int) uint32 {
+	if !f.Striped {
+		base := f.Entry.Addr + uint32(off)
+		return func(o int) uint32 { return base + uint32(o) }
+	}
+	return func(o int) uint32 {
+		return f.Entry.Addr + uint32(aegis.StripedIndex(off+o))
+	}
+}
+
+// CopyFromFrame copies n bytes of frame payload (from offset off) to dst,
+// charging p; with cksum the checksum is integrated. Striped (Ethernet)
+// frames cost slightly more per line, as the generated strided loops do.
+func CopyFromFrame(p *aegis.Process, f Frame, off int, dst uint32, n int, cksum bool) uint32 {
+	op := 0
+	if cksum {
+		op = f.k.Prof.CksumOp
+	}
+	cycles := passCost(f.k, frameSrc(f, off), dst, n, true, op)
+	if f.Striped {
+		cycles += sim.Time(n / aegis.StripeChunk) // line-skip index update
+	}
+	buf := make([]byte, n)
+	f.Bytes(buf, off, n)
+	copy(f.k.Bytes(dst, n), buf)
+	p.Compute(cycles)
+	if cksum {
+		return CksumData(0, buf)
+	}
+	return 0
+}
+
+// CksumFromFrame traverses n bytes of frame payload computing the
+// checksum in place (the "in place, with checksum" receive variant).
+func CksumFromFrame(p *aegis.Process, f Frame, off int, n int) uint32 {
+	cycles := passCost(f.k, frameSrc(f, off), 0, n, false, f.k.Prof.CksumOp)
+	if f.Striped {
+		cycles += sim.Time(n / aegis.StripeChunk)
+	}
+	buf := make([]byte, n)
+	f.Bytes(buf, off, n)
+	p.Compute(cycles)
+	return CksumData(0, buf)
+}

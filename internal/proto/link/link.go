@@ -1,0 +1,274 @@
+// Package link abstracts the two network attachments the protocol
+// libraries run over: an AN2 virtual-circuit binding and an Ethernet DPF
+// filter binding. The user-level protocols of Section IV-D (ARP, IP, UDP,
+// TCP, HTTP) are libraries linked into applications; this package is the
+// seam between those libraries and the simulated kernel's devices.
+//
+// An Endpoint is one process's demultiplexing point: frames the kernel
+// accepts for it appear on its notification ring; sends go through the
+// system-call path. Downloaded handlers (ASHs) and upcalls attach at the
+// same point, upstream of the ring.
+package link
+
+import (
+	"fmt"
+
+	"ashs/internal/aegis"
+	"ashs/internal/dpf"
+	"ashs/internal/sim"
+)
+
+// Addr is a link-level destination.
+type Addr struct {
+	Port int // switch port of the destination host
+	VC   int // AN2 virtual circuit (0 on Ethernet)
+}
+
+// Frame is a received link payload, still in its receive buffer.
+type Frame struct {
+	Entry   aegis.RingEntry
+	Striped bool // Ethernet striping DMA layout
+	k       *aegis.Kernel
+}
+
+// Len is the payload length in bytes.
+func (f *Frame) Len() int { return f.Entry.Len }
+
+// Addr is the simulated physical address of the payload (striped frames:
+// of the striped buffer).
+func (f *Frame) Addr() uint32 { return f.Entry.Addr }
+
+// Byte reads payload byte i (stripe-aware, uncosted: callers charge
+// header-parse costs explicitly).
+func (f *Frame) Byte(i int) byte {
+	return f.raw()[f.index(i)]
+}
+
+// U16 reads a big-endian 16-bit field at offset i.
+func (f *Frame) U16(i int) uint16 {
+	return uint16(f.Byte(i))<<8 | uint16(f.Byte(i+1))
+}
+
+// U32 reads a big-endian 32-bit field at offset i.
+func (f *Frame) U32(i int) uint32 {
+	return uint32(f.U16(i))<<16 | uint32(f.U16(i+2))
+}
+
+func (f *Frame) raw() []byte {
+	n := f.Entry.Len
+	if f.Striped {
+		n = 2 * n
+	}
+	return f.k.Bytes(f.Entry.Addr, n)
+}
+
+func (f *Frame) index(i int) int {
+	if f.Striped {
+		return aegis.StripedIndex(i)
+	}
+	return i
+}
+
+// Bytes copies the payload range [off, off+n) into dst (uncosted; use
+// CopyOut for a costed copy).
+func (f *Frame) Bytes(dst []byte, off, n int) {
+	raw := f.raw()
+	if f.Striped {
+		for i := 0; i < n; i++ {
+			dst[i] = raw[aegis.StripedIndex(off+i)]
+		}
+	} else {
+		copy(dst, raw[off:off+n])
+	}
+}
+
+// FabricateFrame builds a Frame view over an arbitrary contiguous memory
+// range (e.g. an IP reassembly buffer), so transports can treat assembled
+// datagrams and in-buffer datagrams uniformly.
+func FabricateFrame(k *aegis.Kernel, addr uint32, n int) Frame {
+	return Frame{Entry: aegis.RingEntry{Addr: addr, Len: n}, k: k}
+}
+
+// Endpoint is a process's attachment to a network.
+type Endpoint interface {
+	// Kernel returns the host kernel.
+	Kernel() *aegis.Kernel
+	// Owner returns the owning process.
+	Owner() *aegis.Process
+	// LocalAddr returns this endpoint's link address.
+	LocalAddr() Addr
+	// MTU is the largest payload a frame can carry.
+	MTU() int
+	// Send transmits payload to dst through the user-level path (system
+	// call + device setup), charging the calling process.
+	Send(dst Addr, payload []byte)
+	// Recv returns the next frame; polling selects busy-wait vs blocking.
+	Recv(polling bool) Frame
+	// RecvUntil is Recv with an absolute virtual-time deadline (0 = none);
+	// ok is false on timeout.
+	RecvUntil(polling bool, deadline sim.Time) (Frame, bool)
+	// TryRecv returns the next frame without blocking.
+	TryRecv() (Frame, bool)
+	// Release returns the frame's buffer to the receive pool, charging the
+	// buffer-management path.
+	Release(f Frame)
+	// InstallHandler attaches a downloaded handler upstream of the ring.
+	InstallHandler(h aegis.MsgHandler)
+	// InstallUpcall attaches an upcall upstream of the ring.
+	InstallUpcall(u *aegis.Upcall)
+}
+
+// AN2Link is an Endpoint over an AN2 virtual circuit.
+type AN2Link struct {
+	iface *aegis.AN2If
+	bind  *aegis.VCBinding
+	owner *aegis.Process
+	vc    int
+}
+
+// BindAN2 binds process owner to virtual circuit vc with nbufs receive
+// buffers of bufSize bytes.
+func BindAN2(iface *aegis.AN2If, owner *aegis.Process, vc, nbufs, bufSize int) (*AN2Link, error) {
+	b, err := iface.BindVC(owner, vc, nbufs, bufSize)
+	if err != nil {
+		return nil, err
+	}
+	return &AN2Link{iface: iface, bind: b, owner: owner, vc: vc}, nil
+}
+
+// Kernel implements Endpoint.
+func (l *AN2Link) Kernel() *aegis.Kernel { return l.iface.K }
+
+// Owner implements Endpoint.
+func (l *AN2Link) Owner() *aegis.Process { return l.owner }
+
+// LocalAddr implements Endpoint.
+func (l *AN2Link) LocalAddr() Addr { return Addr{Port: l.iface.Addr(), VC: l.vc} }
+
+// MTU implements Endpoint.
+func (l *AN2Link) MTU() int { return l.iface.MaxFrame() }
+
+// Send implements Endpoint.
+func (l *AN2Link) Send(dst Addr, payload []byte) {
+	l.iface.Send(l.owner, dst.Port, dst.VC, payload)
+}
+
+// Recv implements Endpoint.
+func (l *AN2Link) Recv(polling bool) Frame {
+	f, _ := l.RecvUntil(polling, 0)
+	return f
+}
+
+// RecvUntil implements Endpoint.
+func (l *AN2Link) RecvUntil(polling bool, deadline sim.Time) (Frame, bool) {
+	var e aegis.RingEntry
+	var ok bool
+	if polling {
+		e, ok = l.bind.Ring.PollRecvUntil(l.owner, deadline)
+	} else {
+		e, ok = l.bind.Ring.WaitRecvUntil(l.owner, deadline)
+	}
+	return Frame{Entry: e, k: l.iface.K}, ok
+}
+
+// TryRecv implements Endpoint.
+func (l *AN2Link) TryRecv() (Frame, bool) {
+	e, ok := l.bind.Ring.TryRecv()
+	if !ok {
+		return Frame{}, false
+	}
+	return Frame{Entry: e, k: l.iface.K}, true
+}
+
+// Release implements Endpoint.
+func (l *AN2Link) Release(f Frame) {
+	l.owner.Compute(sim.Time(l.iface.K.Prof.BufferMgmtCycles))
+	l.bind.FreeBuf(f.Entry.BufIndex)
+}
+
+// InstallHandler implements Endpoint.
+func (l *AN2Link) InstallHandler(h aegis.MsgHandler) { l.bind.Handler = h }
+
+// InstallUpcall implements Endpoint.
+func (l *AN2Link) InstallUpcall(u *aegis.Upcall) { l.bind.Upcall = u }
+
+// Binding exposes the underlying VC binding (for drop statistics).
+func (l *AN2Link) Binding() *aegis.VCBinding { return l.bind }
+
+// EthLink is an Endpoint over an Ethernet DPF filter.
+type EthLink struct {
+	iface *aegis.EthernetIf
+	bind  *aegis.EthBinding
+	owner *aegis.Process
+}
+
+// BindEthernet installs filter f for owner and returns the endpoint.
+func BindEthernet(iface *aegis.EthernetIf, owner *aegis.Process, f *dpf.Filter) (*EthLink, error) {
+	b, err := iface.BindFilter(owner, f)
+	if err != nil {
+		return nil, err
+	}
+	return &EthLink{iface: iface, bind: b, owner: owner}, nil
+}
+
+// Kernel implements Endpoint.
+func (l *EthLink) Kernel() *aegis.Kernel { return l.iface.K }
+
+// Owner implements Endpoint.
+func (l *EthLink) Owner() *aegis.Process { return l.owner }
+
+// LocalAddr implements Endpoint.
+func (l *EthLink) LocalAddr() Addr { return Addr{Port: l.iface.Addr()} }
+
+// MTU implements Endpoint.
+func (l *EthLink) MTU() int { return l.iface.MaxFrame() }
+
+// Send implements Endpoint.
+func (l *EthLink) Send(dst Addr, payload []byte) {
+	l.iface.Send(l.owner, dst.Port, payload)
+}
+
+// Recv implements Endpoint.
+func (l *EthLink) Recv(polling bool) Frame {
+	f, _ := l.RecvUntil(polling, 0)
+	return f
+}
+
+// RecvUntil implements Endpoint.
+func (l *EthLink) RecvUntil(polling bool, deadline sim.Time) (Frame, bool) {
+	var e aegis.RingEntry
+	var ok bool
+	if polling {
+		e, ok = l.bind.Ring.PollRecvUntil(l.owner, deadline)
+	} else {
+		e, ok = l.bind.Ring.WaitRecvUntil(l.owner, deadline)
+	}
+	return Frame{Entry: e, Striped: true, k: l.iface.K}, ok
+}
+
+// TryRecv implements Endpoint.
+func (l *EthLink) TryRecv() (Frame, bool) {
+	e, ok := l.bind.Ring.TryRecv()
+	if !ok {
+		return Frame{}, false
+	}
+	return Frame{Entry: e, Striped: true, k: l.iface.K}, true
+}
+
+// Release implements Endpoint.
+func (l *EthLink) Release(f Frame) {
+	l.owner.Compute(sim.Time(l.iface.K.Prof.BufferMgmtCycles))
+	l.iface.FreeBuf(f.Entry.BufIndex)
+}
+
+// InstallHandler implements Endpoint.
+func (l *EthLink) InstallHandler(h aegis.MsgHandler) { l.bind.Handler = h }
+
+// InstallUpcall implements Endpoint.
+func (l *EthLink) InstallUpcall(u *aegis.Upcall) { l.bind.Upcall = u }
+
+var _ Endpoint = (*AN2Link)(nil)
+var _ Endpoint = (*EthLink)(nil)
+
+// ErrNoEndpoint reports a send to an unresolvable destination.
+var ErrNoEndpoint = fmt.Errorf("link: no route to destination")

@@ -1,0 +1,225 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ashs/internal/aegis"
+	"ashs/internal/mach"
+	"ashs/internal/netdev"
+	"ashs/internal/sim"
+)
+
+func newHostPair(t *testing.T) (*sim.Engine, *aegis.Kernel, *aegis.Kernel, *aegis.AN2If, *aegis.AN2If) {
+	t.Helper()
+	eng := sim.NewEngine()
+	prof := mach.DS5000_240()
+	sw := netdev.NewSwitch(eng, prof, netdev.AN2Config())
+	k1 := aegis.NewKernel("h1", eng, prof)
+	k2 := aegis.NewKernel("h2", eng, prof)
+	return eng, k1, k2, aegis.NewAN2(k1, sw), aegis.NewAN2(k2, sw)
+}
+
+func TestCksumDataMatchesReference(t *testing.T) {
+	err := quick.Check(func(data []byte) bool {
+		got := FoldCksum(CksumData(0, data))
+		// Reference: textbook 16-bit accumulation.
+		var sum uint32
+		for i := 0; i < len(data); i += 2 {
+			w := uint32(data[i]) << 8
+			if i+1 < len(data) {
+				w |= uint32(data[i+1])
+			}
+			sum += w
+			if sum > 0xffff {
+				sum = sum&0xffff + sum>>16
+			}
+		}
+		return got == uint16(sum)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCksumIncremental(t *testing.T) {
+	// Property: checksumming in chunks at even boundaries equals one pass.
+	err := quick.Check(func(a, b []byte) bool {
+		if len(a)%2 == 1 {
+			a = a[:len(a)-1]
+		}
+		whole := CksumData(0, append(append([]byte(nil), a...), b...))
+		split := CksumData(CksumData(0, a), b)
+		return FoldCksum(whole) == FoldCksum(split)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyRangeMovesBytesAndCharges(t *testing.T) {
+	eng, k1, _, _, _ := newHostPair(t)
+	var cost sim.Time
+	k1.Spawn("app", func(p *aegis.Process) {
+		src := p.AS.Alloc(4096, "src")
+		dst := p.AS.Alloc(4096, "dst")
+		rng := rand.New(rand.NewSource(1))
+		s := k1.Bytes(src.Base, 4096)
+		rng.Read(s)
+		start := p.K.Now()
+		acc := CopyRange(p, k1, src.Base, dst.Base, 4096, true)
+		cost = p.K.Now() - start
+		d := k1.Bytes(dst.Base, 4096)
+		for i := range s {
+			if s[i] != d[i] {
+				t.Errorf("copy mismatch at %d", i)
+				return
+			}
+		}
+		if FoldCksum(acc) != FoldCksum(CksumData(0, s)) {
+			t.Error("integrated checksum wrong")
+		}
+	})
+	eng.Run()
+	// Uncached integrated copy+cksum: ~11 cycles/word = ~2.75 us/words...
+	us := k1.Prof.Us(cost)
+	if us < 200 || us > 350 {
+		t.Fatalf("integrated copy+cksum of 4096B cost %.1f us, want ~280", us)
+	}
+}
+
+func TestCopyFromStripedFrameMatchesContiguous(t *testing.T) {
+	eng, k1, _, _, _ := newHostPair(t)
+	k1.Spawn("app", func(p *aegis.Process) {
+		// Build a striped buffer and a contiguous frame with identical
+		// payloads; copies from both must agree.
+		payload := make([]byte, 1000)
+		rand.New(rand.NewSource(2)).Read(payload)
+
+		stripedSeg := p.AS.Alloc(2048+32, "striped")
+		aegis.Stripe(k1.Bytes(stripedSeg.Base, 2048+32), payload)
+		fs := Frame{Entry: aegis.RingEntry{Addr: stripedSeg.Base, Len: len(payload)}, Striped: true}
+		setFrameKernel(&fs, k1)
+
+		contSeg := p.AS.Alloc(1024, "cont")
+		copy(k1.Bytes(contSeg.Base, 1000), payload)
+		fc := FabricateFrame(k1, contSeg.Base, 1000)
+
+		d1 := p.AS.Alloc(1024, "d1")
+		d2 := p.AS.Alloc(1024, "d2")
+		a1 := CopyFromFrame(p, fs, 16, d1.Base, 900, true)
+		a2 := CopyFromFrame(p, fc, 16, d2.Base, 900, true)
+		b1 := k1.Bytes(d1.Base, 900)
+		b2 := k1.Bytes(d2.Base, 900)
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Errorf("striped/contiguous copy mismatch at %d", i)
+				return
+			}
+		}
+		if FoldCksum(a1) != FoldCksum(a2) {
+			t.Error("striped/contiguous checksum mismatch")
+		}
+	})
+	eng.Run()
+}
+
+// setFrameKernel lets tests fabricate striped frames.
+func setFrameKernel(f *Frame, k *aegis.Kernel) { f.k = k }
+
+func TestFrameFieldAccessors(t *testing.T) {
+	eng, k1, _, _, _ := newHostPair(t)
+	k1.Spawn("app", func(p *aegis.Process) {
+		seg := p.AS.Alloc(64, "buf")
+		b := k1.Bytes(seg.Base, 64)
+		for i := range b {
+			b[i] = byte(i)
+		}
+		f := FabricateFrame(k1, seg.Base, 64)
+		if f.Byte(5) != 5 {
+			t.Errorf("Byte(5) = %d", f.Byte(5))
+		}
+		if f.U16(2) != 0x0203 {
+			t.Errorf("U16(2) = %#x", f.U16(2))
+		}
+		if f.U32(4) != 0x04050607 {
+			t.Errorf("U32(4) = %#x", f.U32(4))
+		}
+		out := make([]byte, 8)
+		f.Bytes(out, 10, 8)
+		if out[0] != 10 || out[7] != 17 {
+			t.Errorf("Bytes = %v", out)
+		}
+	})
+	eng.Run()
+}
+
+func TestEndpointSendRecvAN2(t *testing.T) {
+	eng, k1, k2, a1, a2 := newHostPair(t)
+	var got []byte
+	k2.Spawn("rx", func(p *aegis.Process) {
+		ep, err := BindAN2(a2, p, 4, 8, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f := ep.Recv(true)
+		got = make([]byte, f.Len())
+		f.Bytes(got, 0, f.Len())
+		ep.Release(f)
+	})
+	k1.Spawn("tx", func(p *aegis.Process) {
+		ep, err := BindAN2(a1, p, 4, 8, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ep.Send(Addr{Port: a2.Addr(), VC: 4}, []byte("hello an2"))
+	})
+	eng.Run()
+	if string(got) != "hello an2" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecvUntilTimesOut(t *testing.T) {
+	eng, k1, _, a1, _ := newHostPair(t)
+	var timedOut bool
+	var at sim.Time
+	k1.Spawn("rx", func(p *aegis.Process) {
+		ep, err := BindAN2(a1, p, 4, 8, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, ok := ep.RecvUntil(false, 50000)
+		timedOut = !ok
+		at = p.K.Now()
+	})
+	eng.Run()
+	if !timedOut {
+		t.Fatal("RecvUntil did not time out")
+	}
+	if at < 50000 || at > 52000 {
+		t.Fatalf("timed out at %d, want ~50000", at)
+	}
+}
+
+func TestRecvUntilPollingTimesOut(t *testing.T) {
+	eng, k1, _, a1, _ := newHostPair(t)
+	var timedOut bool
+	k1.Spawn("rx", func(p *aegis.Process) {
+		ep, err := BindAN2(a1, p, 4, 8, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, ok := ep.RecvUntil(true, 50000)
+		timedOut = !ok
+	})
+	eng.Run()
+	if !timedOut {
+		t.Fatal("polling RecvUntil did not time out")
+	}
+}

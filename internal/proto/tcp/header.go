@@ -1,0 +1,114 @@
+// Package tcp is a library-based user-level implementation of RFC 793
+// (Section IV-D). Like the paper's, it is deliberately not fully
+// TCP-compliant — no fast retransmit/recovery or adaptive buffering — but
+// it establishes connections with a three-way handshake, delivers ordered
+// reliable byte streams under loss and reordering via timeout
+// retransmission, runs all established-state segments through
+// header-prediction code, uses a fixed window, supports synchronous
+// writes (write waits for the acknowledgment), and piggybacks data on
+// acknowledgments.
+//
+// The common-case fast path can additionally be placed in a downloaded
+// handler — an ASH (sandboxed or unsafe) or an upcall — which performs
+// header prediction, integrated checksum-and-copy via dynamic ILP, and
+// acknowledgment generation directly at message arrival (Section V-B).
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Flags are the TCP control bits.
+type Flags uint8
+
+// Control bits.
+const (
+	FIN Flags = 1 << iota
+	SYN
+	RST
+	PSH
+	ACK
+	URG
+)
+
+// String renders the flag set.
+func (f Flags) String() string {
+	s := ""
+	for _, fl := range []struct {
+		f Flags
+		n string
+	}{{FIN, "F"}, {SYN, "S"}, {RST, "R"}, {PSH, "P"}, {ACK, "A"}, {URG, "U"}} {
+		if f&fl.f != 0 {
+			s += fl.n
+		}
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// HeaderLen is the TCP header size without options (none are emitted).
+const HeaderLen = 20
+
+// Header is a TCP header.
+type Header struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            Flags
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+}
+
+// Marshal appends the wire header to b with the checksum field as given.
+func (h *Header) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = append(b, byte(HeaderLen/4)<<4, byte(h.Flags))
+	b = binary.BigEndian.AppendUint16(b, h.Window)
+	b = binary.BigEndian.AppendUint16(b, h.Checksum)
+	return binary.BigEndian.AppendUint16(b, h.Urgent)
+}
+
+// Parse reads a header from b, returning it and the data offset.
+func Parse(b []byte) (Header, int, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, 0, fmt.Errorf("tcp: truncated header (%d bytes)", len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b)
+	h.DstPort = binary.BigEndian.Uint16(b[2:])
+	h.Seq = binary.BigEndian.Uint32(b[4:])
+	h.Ack = binary.BigEndian.Uint32(b[8:])
+	off := int(b[12]>>4) * 4
+	if off < HeaderLen || off > len(b) {
+		return h, 0, fmt.Errorf("tcp: bad data offset %d", off)
+	}
+	h.Flags = Flags(b[13] & 0x3f)
+	h.Window = binary.BigEndian.Uint16(b[14:])
+	h.Checksum = binary.BigEndian.Uint16(b[16:])
+	h.Urgent = binary.BigEndian.Uint16(b[18:])
+	return h, off, nil
+}
+
+// headerAccum folds the header fields (checksum taken as zero) into a
+// ones-complement accumulator, for checksum computation.
+func (h *Header) headerAccum() uint32 {
+	var acc uint32
+	acc += uint32(h.SrcPort) + uint32(h.DstPort)
+	acc += h.Seq>>16 + h.Seq&0xffff
+	acc += h.Ack>>16 + h.Ack&0xffff
+	acc += uint32(HeaderLen/4)<<12 + uint32(h.Flags)
+	acc += uint32(h.Window) + uint32(h.Urgent)
+	return acc
+}
+
+// seqLT is the circular sequence-space comparison a < b.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLE is the circular comparison a <= b.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }

@@ -1,0 +1,332 @@
+// Package sandbox makes downloaded handler code safe to run inside the
+// kernel, implementing Section III-B of the paper ("Safe Execution").
+//
+// Safety has two halves:
+//
+//   - Verify performs the download-time checks: floating-point use and
+//     trapping signed arithmetic are rejected outright (Section III-B1),
+//     static branch targets must lie inside the program, only allowlisted
+//     kernel entry points may be called, and code may not contain the
+//     sandbox's own reserved instructions (so handlers cannot forge checks).
+//
+//   - Instrument rewrites the instruction stream with the software-based
+//     fault isolation of Wahbe et al. [54]: every load and store is staged
+//     through a dedicated register and bounds-checked (+2 instructions per
+//     memory operation), divides gain zero checks, indirect jumps are
+//     translated through a table, and — in software-budget mode — every
+//     backward jump decrements an instruction budget (Section III-B3).
+//     A general-purpose entry/exit sequence is added around the handler;
+//     the paper notes this "overly general exit code" is a large fraction
+//     of the added instructions.
+//
+// On x86 the paper uses segmentation hardware instead of software checks;
+// HardwareX86 models that: verification still happens, but no instructions
+// are added.
+package sandbox
+
+import (
+	"fmt"
+
+	"ashs/internal/vcode"
+)
+
+// Hardware selects the protection mechanism of the target machine.
+type Hardware int
+
+const (
+	// HardwareMIPS uses Wahbe-style software fault isolation.
+	HardwareMIPS Hardware = iota
+	// HardwareX86 uses segmentation and privilege rings: verification only,
+	// no added instructions (footnote 1 of the paper).
+	HardwareX86
+)
+
+// BudgetMode selects how execution time is bounded (Section III-B3).
+type BudgetMode int
+
+const (
+	// BudgetTimer relies on the system clock: the runtime arms a watchdog
+	// and aborts any ASH that uses two clock ticks or more. No instructions
+	// are inserted; arming and clearing cost ~1 us each.
+	BudgetTimer BudgetMode = iota
+	// BudgetSoftware inserts a counter check at every backward jump.
+	BudgetSoftware
+)
+
+// Policy configures verification and instrumentation.
+type Policy struct {
+	Hardware     Hardware
+	Budget       BudgetMode
+	AllowedCalls map[string]bool // kernel entry points callable via OpCall
+
+	// OptimisticExceptions models the "more sophisticated implementation"
+	// of Section III-B1: with operating-system support for handler
+	// exceptions, runtime checks (divide-by-zero here) are omitted and the
+	// kernel catches the exception and aborts the ASH if one occurs.
+	OptimisticExceptions bool
+
+	// Entry/exit sequence lengths (instructions). The defaults reproduce
+	// the paper's observation that exit code dominates added instructions.
+	PrologueLen int
+	EpilogueLen int
+}
+
+// DefaultPolicy returns the policy used by the ASH system: MIPS software
+// protection, timer-based budgets, and the standard entry/exit sequences.
+func DefaultPolicy() *Policy {
+	return &Policy{
+		Hardware: HardwareMIPS,
+		Budget:   BudgetTimer,
+		AllowedCalls: map[string]bool{
+			"ash_send":     true, // network send (Section III-B2)
+			"ash_copy":     true, // trusted aggregated-check data copy
+			"ash_dilp":     true, // run a compiled DILP transfer engine
+			"ash_msg_load": true, // trusted message-word access
+		},
+		PrologueLen: 8,
+		EpilogueLen: 16,
+	}
+}
+
+// VerifyError reports why a program was rejected at download time.
+type VerifyError struct {
+	PC     int
+	Insn   vcode.Insn
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("sandbox: rejected at pc=%d (%s): %s", e.PC, e.Insn, e.Reason)
+}
+
+// Verify performs the download-time static checks and returns nil if the
+// program may be instrumented and installed.
+func Verify(p *vcode.Program, pol *Policy) error {
+	n := len(p.Insns)
+	for pc, in := range p.Insns {
+		switch {
+		case in.Op.IsFloat():
+			return &VerifyError{pc, in, "floating-point instructions are disallowed at download time"}
+		case in.Op.IsSignedArith():
+			return &VerifyError{pc, in, "signed (trapping) arithmetic is disallowed; use unsigned forms"}
+		case in.Op.IsSandboxOp():
+			return &VerifyError{pc, in, "sandbox-reserved instruction in downloaded code"}
+		case in.Op == vcode.OpInput32 || in.Op == vcode.OpOutput32:
+			return &VerifyError{pc, in, "pipe pseudo-op outside a pipe body"}
+		case in.Op == vcode.OpCall:
+			if pol.AllowedCalls == nil || !pol.AllowedCalls[in.Sym] {
+				return &VerifyError{pc, in, fmt.Sprintf("call to %q is not an allowed system entry point", in.Sym)}
+			}
+		case in.Op == vcode.OpBeq || in.Op == vcode.OpBne ||
+			in.Op == vcode.OpBltU || in.Op == vcode.OpBgeU || in.Op == vcode.OpJmp:
+			if in.Target < 0 || in.Target >= n {
+				return &VerifyError{pc, in, "static branch target outside program"}
+			}
+		}
+		// Writes to reserved registers would subvert the SFI staging
+		// register; reject them.
+		if writesReg(in, vcode.RSbox) {
+			return &VerifyError{pc, in, "write to reserved sandbox register"}
+		}
+	}
+	if n == 0 || p.Insns[n-1].Op != vcode.OpRet {
+		return &VerifyError{n - 1, vcode.Insn{}, "program must end in ret"}
+	}
+	return nil
+}
+
+func writesReg(in vcode.Insn, r vcode.Reg) bool {
+	if in.Op.IsStore() && !in.Op.IsIndexed() {
+		return false // stores read Rt, write memory
+	}
+	switch in.Op {
+	case vcode.OpNop, vcode.OpRet, vcode.OpJmp, vcode.OpJmpR, vcode.OpCall,
+		vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU,
+		vcode.OpSt32, vcode.OpSt16, vcode.OpSt8, vcode.OpSt32X, vcode.OpSt8X,
+		vcode.OpOutput32:
+		return false
+	}
+	return in.Rd == r
+}
+
+// Program is a verified, instrumented handler ready for installation.
+type Program struct {
+	Orig *vcode.Program // pre-sandbox code (for instruction accounting)
+	Code *vcode.Program // instrumented code actually executed
+
+	// JmpTable translates pre-sandbox instruction indices (as used by
+	// indirect jumps in the original code) to instrumented indices.
+	JmpTable []int
+
+	// AddedStatic is the number of instructions instrumentation added.
+	AddedStatic int
+	Policy      *Policy
+}
+
+// Sandbox verifies and instruments a program under pol. The input program
+// is not modified.
+func Sandbox(p *vcode.Program, pol *Policy) (*Program, error) {
+	if err := Verify(p, pol); err != nil {
+		return nil, err
+	}
+	if pol.Hardware == HardwareX86 {
+		// Segmentation hardware isolates the handler: no software checks.
+		return &Program{Orig: p, Code: p.Clone(), JmpTable: identity(len(p.Insns)), Policy: pol}, nil
+	}
+
+	out := make([]vcode.Insn, 0, len(p.Insns)*2+pol.PrologueLen+pol.EpilogueLen)
+	oldToNew := make([]int, len(p.Insns))
+
+	// Entry sequence: establish the sandbox context (modeled as generic
+	// register save/establish operations; cf. "overly general exit code").
+	for i := 0; i < pol.PrologueLen; i++ {
+		out = append(out, vcode.Insn{Op: vcode.OpNop})
+	}
+
+	epilogue := func() []vcode.Insn {
+		seq := make([]vcode.Insn, pol.EpilogueLen)
+		for i := range seq {
+			seq[i] = vcode.Insn{Op: vcode.OpNop}
+		}
+		return seq
+	}
+
+	for pc, in := range p.Insns {
+		oldToNew[pc] = len(out)
+		switch {
+		case in.Op.IsLoad() || in.Op.IsStore():
+			// Stage the effective address through RSbox and bounds-check
+			// it: +2 instructions per memory operation (Wahbe et al.).
+			if in.Op.IsIndexed() {
+				out = append(out,
+					vcode.Insn{Op: vcode.OpAddU, Rd: vcode.RSbox, Rs: in.Rs, Rt: in.Rt},
+					vcode.Insn{Op: vcode.OpSboxChk, Rd: vcode.RSbox},
+				)
+				rewritten := in
+				rewritten.Rs = vcode.RSbox
+				rewritten.Rt = vcode.RZero // address fully staged in RSbox
+				out = append(out, rewritten)
+			} else {
+				out = append(out,
+					vcode.Insn{Op: vcode.OpSboxMask, Rd: vcode.RSbox, Rs: in.Rs, Imm: in.Imm},
+					vcode.Insn{Op: vcode.OpSboxChk, Rd: vcode.RSbox},
+				)
+				rewritten := in
+				rewritten.Rs = vcode.RSbox
+				rewritten.Imm = 0
+				out = append(out, rewritten)
+			}
+		case in.Op == vcode.OpDivU || in.Op == vcode.OpRemU:
+			if pol.OptimisticExceptions {
+				// The kernel will catch a divide fault and abort the ASH;
+				// no check emitted.
+				out = append(out, in)
+			} else {
+				out = append(out,
+					vcode.Insn{Op: vcode.OpChkDiv, Rs: in.Rt},
+					in,
+				)
+			}
+		case in.Op == vcode.OpRet:
+			out = append(out, epilogue()...)
+			out = append(out, in)
+		default:
+			out = append(out, in)
+		}
+	}
+
+	// Retarget static branches using oldToNew.
+	for i := range out {
+		switch out[i].Op {
+		case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+			out[i].Target = oldToNew[out[i].Target]
+		}
+	}
+
+	if pol.Budget == BudgetSoftware {
+		out, oldToNew = insertBudgetChecks(out, oldToNew)
+	}
+
+	code := &vcode.Program{
+		Name:       p.Name + ".sandboxed",
+		Insns:      out,
+		Persistent: append([]vcode.Reg(nil), p.Persistent...),
+		NextReg:    p.NextReg,
+	}
+	return &Program{
+		Orig:        p,
+		Code:        code,
+		JmpTable:    oldToNew,
+		AddedStatic: len(out) - len(p.Insns),
+		Policy:      pol,
+	}, nil
+}
+
+func identity(n int) []int {
+	t := make([]int, n)
+	for i := range t {
+		t[i] = i
+	}
+	return t
+}
+
+// insertBudgetChecks adds an OpChkBudget before every backward branch
+// (Section III-B3: "software checks at all backward jump locations").
+// The check's Imm approximates the loop body length so the budget drains in
+// proportion to work done.
+func insertBudgetChecks(code []vcode.Insn, oldToNew []int) ([]vcode.Insn, []int) {
+	isBackward := func(i int) bool {
+		switch code[i].Op {
+		case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+			return code[i].Target <= i
+		}
+		return false
+	}
+	// Map from current index to final index after insertions. For a
+	// backward branch, the mapped position is the inserted ChkBudget, not
+	// the branch itself: any jump landing on the branch (including a
+	// self-loop) must pass through the check, or a runaway loop could
+	// skip budget accounting entirely.
+	shift := make([]int, len(code)+1)
+	added := 0
+	for i := range code {
+		shift[i] = i + added
+		if isBackward(i) {
+			added++
+		}
+	}
+	shift[len(code)] = len(code) + added
+
+	out := make([]vcode.Insn, 0, len(code)+added)
+	for i, in := range code {
+		if isBackward(i) {
+			body := int32(i - in.Target + 1)
+			out = append(out, vcode.Insn{Op: vcode.OpChkBudget, Imm: body})
+		}
+		out = append(out, in)
+	}
+	// Retarget branches to shifted positions.
+	for i := range out {
+		switch out[i].Op {
+		case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+			out[i].Target = shift[out[i].Target]
+		}
+	}
+	newOldToNew := make([]int, len(oldToNew))
+	for i, v := range oldToNew {
+		newOldToNew[i] = shift[v]
+	}
+	return out, newOldToNew
+}
+
+// Attach configures machine m to run the sandboxed program: the SFI region,
+// the jump-translation table, and (in timer mode) nothing further — the
+// caller arms the watchdog via CycleLimit.
+func (sp *Program) Attach(m *vcode.Machine, base, limit uint32, budget int64) {
+	m.SboxBase, m.SboxLimit = base, limit
+	m.JmpTable = sp.JmpTable
+	if sp.Policy.Budget == BudgetSoftware {
+		m.SoftBudget = budget
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with virtual time measured in CPU cycles.
+//
+// The engine is the substrate under every experiment in this repository:
+// the paper's measurements were taken on real DECstation 5000/240s, while
+// ours are taken on a simulated pair of hosts whose clocks are driven by
+// this engine (see DESIGN.md for the substitution argument).
+//
+// Two styles of simulated activity are supported:
+//
+//   - event callbacks, scheduled with Schedule/ScheduleAt, which run to
+//     completion at a virtual instant; and
+//   - processes (Proc), goroutines that interleave with the engine in strict
+//     lock-step: at most one process or event callback executes at any real
+//     moment, so simulations are fully deterministic.
+//
+// Determinism: events at equal virtual times fire in scheduling order
+// (FIFO by sequence number). Processes only advance when the engine resumes
+// them, and the engine only advances when the running process parks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp or duration, measured in CPU cycles of the
+// simulated machine. The zero Time is the beginning of the simulation.
+type Time int64
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once fired or cancelled
+}
+
+// At reports the virtual time at which the event is (or was) scheduled.
+func (ev *Event) At() Time { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use
+// by multiple goroutines except through the Proc lock-step protocol.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   int // live (started, not yet finished) processes
+	parked  int // processes currently parked with no wakeup scheduled
+	current *Proc
+	panicV  any // propagated panic from a process
+	stopped bool
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// ScheduleAt registers fn to run at virtual time t, which must not be in
+// the past. It returns the event so the caller may cancel it.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%d < %d)", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Schedule registers fn to run after virtual duration d (d >= 0).
+func (e *Engine) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+}
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step fires the next event. It reports false when the queue is empty.
+func (e *Engine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*Event)
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	ev.fn()
+	if e.panicV != nil {
+		v := e.panicV
+		e.panicV = nil
+		panic(v)
+	}
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called. If a process
+// panicked, Run re-panics with the same value.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t and then sets the clock to t
+// (if the simulation had not already passed it).
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d cycles of virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

@@ -1,0 +1,180 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated thread of control: a goroutine that runs in strict
+// lock-step with the engine. Exactly one of {engine, some process} executes
+// at any real moment; control transfers are explicit (resume/park), so
+// simulations involving many processes remain deterministic.
+//
+// A Proc's body may call Sleep, Park, and the blocking helpers; it must not
+// touch the engine from any other goroutine.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	dead   bool
+	parked bool // parked with no scheduled wakeup
+	wakeEv *Event
+}
+
+// Go creates a process executing fn and schedules it to start now.
+// fn runs on its own goroutine but only while the engine is paused.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		defer func() {
+			p.dead = true
+			e.procs--
+			if r := recover(); r != nil {
+				e.panicV = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { p.run() })
+	return p
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// run transfers control from the engine to the process until it parks or
+// finishes. Must be called from engine (event) context.
+func (p *Proc) run() {
+	if p.dead {
+		return
+	}
+	prev := p.eng.current
+	p.eng.current = p
+	p.resume <- struct{}{}
+	<-p.yield
+	p.eng.current = prev
+}
+
+// park transfers control from the process back to the engine.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d cycles of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.Schedule(d, func() { p.run() })
+	p.park()
+}
+
+// Park blocks the process until another event or process calls Unpark.
+func (p *Proc) Park() {
+	p.parked = true
+	p.park()
+}
+
+// Parked reports whether the process is blocked in Park or ParkTimeout
+// (not in a plain Sleep).
+func (p *Proc) Parked() bool { return p.parked }
+
+// Unpark makes a parked process runnable again at the current virtual time.
+// It may be called from event context or from another process. Unparking a
+// process that is not parked panics: it would indicate a lost-wakeup race in
+// the caller, which the lock-step protocol is designed to make impossible.
+func (p *Proc) Unpark() {
+	if p.dead {
+		return
+	}
+	if !p.parked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked process %q", p.name))
+	}
+	p.parked = false
+	p.eng.Schedule(0, func() { p.run() })
+}
+
+// ParkTimeout parks the process for at most d cycles. It reports true if the
+// process was explicitly unparked and false if the timeout expired.
+func (p *Proc) ParkTimeout(d Time) bool {
+	timedOut := false
+	ev := p.eng.Schedule(d, func() {
+		if p.parked {
+			timedOut = true
+			p.parked = false
+			p.run()
+		}
+	})
+	p.parked = true
+	p.park()
+	p.eng.Cancel(ev)
+	return !timedOut
+}
+
+// Chan is a deterministic, unbounded message queue between simulated
+// activities. Receivers park when empty; senders never block.
+type Chan[T any] struct {
+	eng    *Engine
+	queue  []T
+	waiter *Proc
+}
+
+// NewChan returns an empty queue bound to engine e.
+func NewChan[T any](e *Engine) *Chan[T] {
+	return &Chan[T]{eng: e}
+}
+
+// Len reports the number of queued items.
+func (c *Chan[T]) Len() int { return len(c.queue) }
+
+// Send enqueues v and wakes the receiver, if one is parked. It may be
+// called from event or process context.
+func (c *Chan[T]) Send(v T) {
+	c.queue = append(c.queue, v)
+	if c.waiter != nil {
+		w := c.waiter
+		c.waiter = nil
+		w.Unpark()
+	}
+}
+
+// Recv dequeues the next item, parking p until one is available.
+// At most one process may wait on a Chan at a time.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for len(c.queue) == 0 {
+		if c.waiter != nil && c.waiter != p {
+			panic("sim: multiple receivers on Chan")
+		}
+		c.waiter = p
+		p.Park()
+	}
+	v := c.queue[0]
+	c.queue = c.queue[1:]
+	return v
+}
+
+// TryRecv dequeues the next item without blocking. ok is false when empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.queue) == 0 {
+		return v, false
+	}
+	v = c.queue[0]
+	c.queue = c.queue[1:]
+	return v, true
+}
