@@ -44,6 +44,7 @@ import (
 	"ashs/internal/proto/udp"
 	"ashs/internal/sim"
 	"ashs/internal/vcode"
+	"ashs/internal/vcode/analysis"
 )
 
 // Re-exported core types. The simulated OS:
@@ -126,6 +127,16 @@ const (
 
 // NewCodeBuilder starts a handler program named name.
 func NewCodeBuilder(name string) *CodeBuilder { return vcode.NewBuilder(name) }
+
+// LintFinding is one diagnostic from the handler lint pass.
+type LintFinding = analysis.Finding
+
+// LintASH runs the static-analysis lint pass over handler code before
+// download: dead stores and loads (wasted work on the per-instruction-
+// costed fast path), persistent registers never read, and loops without
+// a statically provable trip bound. Findings are advisory — the
+// verifier, not the linter, decides downloadability.
+func LintASH(p *Program) []LintFinding { return analysis.Lint(p) }
 
 // NewPipeList initializes a pipe list with the given capacity hint.
 func NewPipeList(capacity int) *PipeList { return pipe.NewList(capacity) }

@@ -151,3 +151,33 @@ func TestEthernetWorldFacade(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+func TestLintFacade(t *testing.T) {
+	// A handler with an obviously dead store is flagged; a tight clean
+	// handler is not.
+	b := ashs.NewCodeBuilder("lint-me")
+	r := b.Temp()
+	b.MovI(r, 1)
+	b.MovI(r, 2)
+	b.Mov(ashs.RRet, r)
+	b.Ret()
+	prog, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := ashs.LintASH(prog)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the dead store", findings)
+	}
+
+	clean := ashs.NewCodeBuilder("clean")
+	clean.MovI(ashs.RRet, 0)
+	clean.Ret()
+	cp, err := clean.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := ashs.LintASH(cp); len(fs) != 0 {
+		t.Fatalf("clean handler flagged: %v", fs)
+	}
+}

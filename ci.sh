@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, tests (with the race detector), and
+# staticcheck when it is installed. Run from the repo root.
+set -eu
+
+echo "== gofmt"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:"
+    echo "$badfmt"
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck"
+    staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping"
+fi
+
+echo "CI OK"

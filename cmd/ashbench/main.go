@@ -9,7 +9,7 @@
 //	ashbench -quick              # reduced workloads
 //
 // Experiments: table1, fig3, table2, table3, table4, table5, table6,
-// fig4, sandbox, dpf, ablation.
+// fig4, sandbox, dpf, ablation, lint.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, all")
+		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, lint, all")
 		quick = flag.Bool("quick", false, "reduced workload sizes (faster, slightly noisier throughput)")
 	)
 	flag.Parse()
@@ -98,6 +98,9 @@ func main() {
 	})
 	run("ablation", func() {
 		fmt.Print(bench.RunAblation().Table().Render())
+	})
+	run("lint", func() {
+		fmt.Print(bench.RunLint())
 	})
 
 	if ran == 0 {

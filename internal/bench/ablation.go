@@ -8,48 +8,70 @@ import (
 )
 
 // AblationResult compares the safety strategies of Section III-B on the
-// same handler (the trusted remote write, 40-byte payload):
+// same handlers (the trusted remote write, 40-byte payload, and the
+// fixed-record copy loop):
 //
 //   - unsafe: no protection (the baseline);
 //   - MIPS + timer: SFI memory checks, watchdog timer bounds runtime
 //     (the paper's prototype);
 //   - MIPS + software budget: SFI plus counter checks at backward jumps;
+//   - optimized variants: the same policies with the static-analysis
+//     check optimizer (elision, hoisting, budget coarsening);
 //   - x86 segmentation: verification only, hardware isolates
 //     ("almost no software checks are needed").
 type AblationResult struct {
-	Labels []string
-	Insns  []int64   // dynamic instructions per invocation
-	Us     []float64 // handler path time per invocation
+	Labels    []string
+	Insns     []int64   // trusted write: dynamic instructions per invocation
+	LoopInsns []int64   // record-copy loop: dynamic instructions per invocation
+	Us        []float64 // trusted-write handler path time per invocation
 }
 
 // RunAblation regenerates the safety-strategy comparison.
 func RunAblation() AblationResult {
 	r := AblationResult{}
-	add := func(label string, pol *sandbox.Policy, unsafe bool, timer bool) {
-		insns, us := ablationRun(pol, unsafe, timer)
+	add := func(label string, pol *sandbox.Policy, unsafe bool) {
+		insns, us := ablationRun(ablationWrite, pol, unsafe)
+		loop, _ := ablationRun(ablationRecord, pol, unsafe)
 		r.Labels = append(r.Labels, label)
 		r.Insns = append(r.Insns, insns)
+		r.LoopInsns = append(r.LoopInsns, loop)
 		r.Us = append(r.Us, us)
 	}
 
-	add("unsafe (no protection)", nil, true, false)
+	add("unsafe (no protection)", nil, true)
 
-	mipsTimer := sandbox.DefaultPolicy()
-	add("MIPS SFI + watchdog timer", mipsTimer, false, true)
+	add("MIPS SFI + watchdog timer", sandbox.DefaultPolicy(), false)
+
+	mipsTimerOpt := sandbox.DefaultPolicy()
+	mipsTimerOpt.Optimize = true
+	add("MIPS SFI + watchdog timer (optimized)", mipsTimerOpt, false)
 
 	mipsSoft := sandbox.DefaultPolicy()
 	mipsSoft.Budget = sandbox.BudgetSoftware
-	add("MIPS SFI + software budget", mipsSoft, false, false)
+	add("MIPS SFI + software budget", mipsSoft, false)
+
+	mipsSoftOpt := sandbox.DefaultPolicy()
+	mipsSoftOpt.Budget = sandbox.BudgetSoftware
+	mipsSoftOpt.Optimize = true
+	add("MIPS SFI + software budget (optimized)", mipsSoftOpt, false)
 
 	x86 := sandbox.DefaultPolicy()
 	x86.Hardware = sandbox.HardwareX86
-	add("x86 segmentation", x86, false, false)
+	add("x86 segmentation", x86, false)
 	return r
 }
 
-// ablationRun executes the trusted write handler once under a policy and
-// returns (dynamic instructions, path microseconds).
-func ablationRun(pol *sandbox.Policy, unsafe, timer bool) (int64, float64) {
+// ablationHandler selects which library handler an ablation run measures.
+type ablationHandler int
+
+const (
+	ablationWrite  ablationHandler = iota // trusted remote write, 40 B
+	ablationRecord                        // fixed-record copy loop
+)
+
+// ablationRun executes a handler once under a policy and returns
+// (dynamic instructions, path microseconds).
+func ablationRun(h ablationHandler, pol *sandbox.Policy, unsafe bool) (int64, float64) {
 	tb := NewAN2Testbed()
 	if pol != nil {
 		tb.Sys2.Policy = pol
@@ -60,25 +82,31 @@ func ablationRun(pol *sandbox.Policy, unsafe, timer bool) (int64, float64) {
 	if err != nil {
 		panic(err)
 	}
-	ash := tb.Sys2.MustDownload(owner, crl.TrustedWriteHandler(),
-		core.Options{Unsafe: unsafe, Budget: 100000})
-	_ = timer
+	prog := crl.TrustedWriteHandler()
+	if h == ablationRecord {
+		prog = crl.FixedRecordWriteHandler(seg.Base+64, seg.Base)
+	}
+	ash := tb.Sys2.MustDownload(owner, prog, core.Options{Unsafe: unsafe, Budget: 100000})
 
 	msgSeg := owner.AS.Alloc(4096, "synthetic-msg")
 	msg := tb.K2.Bytes(msgSeg.Base, 4096)
-	putU32 := func(off int, v uint32) {
-		msg[off] = byte(v >> 24)
-		msg[off+1] = byte(v >> 16)
-		msg[off+2] = byte(v >> 8)
-		msg[off+3] = byte(v)
+	msgLen := crl.RecordBytes
+	if h == ablationWrite {
+		putU32 := func(off int, v uint32) {
+			msg[off] = byte(v >> 24)
+			msg[off+1] = byte(v >> 16)
+			msg[off+2] = byte(v >> 8)
+			msg[off+3] = byte(v)
+		}
+		putU32(0, seg.Base)
+		putU32(4, 40)
+		msgLen = 48
 	}
-	putU32(0, seg.Base)
-	putU32(4, 40)
 
 	var insns int64
 	var us float64
 	tb.Eng.Schedule(0, func() {
-		mc := aegis.SyntheticMsg(tb.K2, owner, aegis.RingEntry{Addr: msgSeg.Base, Len: 48})
+		mc := aegis.SyntheticMsg(tb.K2, owner, aegis.RingEntry{Addr: msgSeg.Base, Len: msgLen})
 		if d := ash.HandleMsg(mc); d != aegis.DispConsumed {
 			panic(ash.InvoluntaryFault)
 		}
@@ -92,14 +120,14 @@ func ablationRun(pol *sandbox.Policy, unsafe, timer bool) (int64, float64) {
 // Table renders the ablation.
 func (r AblationResult) Table() *Table {
 	tab := &Table{
-		Title:   "Ablation: safety strategies of Section III-B (trusted remote write, 40 B)",
-		Columns: []string{"dyn. insns", "us/invocation"},
+		Title:   "Ablation: safety strategies of Section III-B (trusted remote write 40 B; record-copy loop)",
+		Columns: []string{"write insns", "loop insns", "us/invocation"},
 		Format:  "%.2f",
 	}
 	for i, l := range r.Labels {
 		tab.Rows = append(tab.Rows, Row{
 			Label:    l,
-			Measured: []float64{float64(r.Insns[i]), r.Us[i]},
+			Measured: []float64{float64(r.Insns[i]), float64(r.LoopInsns[i]), r.Us[i]},
 		})
 	}
 	return tab

@@ -210,6 +210,24 @@ func TestSandboxMatchesPaper(t *testing.T) {
 	if r.Ratio4096 > 1.05 {
 		t.Errorf("4096-byte ratio = %.3f, paper 1.01-1.02", r.Ratio4096)
 	}
+	// The static-analysis optimizer must reduce the dynamic cost of the
+	// sandboxed handlers whose access patterns it targets, and never
+	// increase any handler's cost.
+	if r.GenericOptInsns >= r.GenericSandboxInsns {
+		t.Errorf("optimized generic = %d insns, naive %d — clustered checks not elided",
+			r.GenericOptInsns, r.GenericSandboxInsns)
+	}
+	if r.RecordOptInsns >= r.RecordSandboxInsns {
+		t.Errorf("optimized record loop = %d insns, naive %d — invariant checks not hoisted",
+			r.RecordOptInsns, r.RecordSandboxInsns)
+	}
+	if r.SpecificOptInsns > r.SpecificSandboxInsns {
+		t.Errorf("optimized specific = %d insns, naive %d — optimizer made it worse",
+			r.SpecificOptInsns, r.SpecificSandboxInsns)
+	}
+	if r.RecordOptInsns <= r.RecordInsns {
+		t.Error("optimized record loop not above the unsafe baseline")
+	}
 }
 
 func TestDPFOrderOfMagnitude(t *testing.T) {
@@ -260,5 +278,23 @@ func TestAblationOrdering(t *testing.T) {
 	}
 	if x86 != unsafe {
 		t.Errorf("x86 segmentation added %d instructions, want 0 (hardware isolates)", x86-unsafe)
+	}
+	// The optimized variants win on the loop handler: hoisting under the
+	// timer policy, hoisting plus budget coarsening under software budget.
+	loopTimer := r.LoopInsns[byLabel["MIPS SFI + watchdog timer"]]
+	loopTimerOpt := r.LoopInsns[byLabel["MIPS SFI + watchdog timer (optimized)"]]
+	loopSoft := r.LoopInsns[byLabel["MIPS SFI + software budget"]]
+	loopSoftOpt := r.LoopInsns[byLabel["MIPS SFI + software budget (optimized)"]]
+	if !(loopTimerOpt < loopTimer) {
+		t.Errorf("optimizer saved nothing on the loop: %d vs %d", loopTimerOpt, loopTimer)
+	}
+	if !(loopSoftOpt < loopSoft) {
+		t.Errorf("optimizer saved nothing under software budget: %d vs %d", loopSoftOpt, loopSoft)
+	}
+	// Coarsening leaves one drain instead of one check per iteration, so
+	// the optimized software-budget run is within a couple of instructions
+	// of the optimized timer run.
+	if loopSoftOpt-loopTimerOpt > 2 {
+		t.Errorf("budget checks not coarsened: soft-opt %d vs timer-opt %d", loopSoftOpt, loopTimerOpt)
 	}
 }

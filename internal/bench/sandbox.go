@@ -20,6 +20,17 @@ type SandboxResult struct {
 	// Execution-time ratios sandboxed/unsafe.
 	Ratio40   float64
 	Ratio4096 float64
+
+	// The static-analysis ablation (not in the paper): the same handlers
+	// under the optimizing sandboxer (check elision, loop hoisting).
+	GenericSandboxInsns int64 // generic, naively sandboxed
+	GenericOptInsns     int64 // generic, optimized sandbox
+	SpecificOptInsns    int64 // app-specific, optimized sandbox
+	// The record-copy loop variant, where the optimizer's loop passes
+	// (hoisting, budget coarsening) apply.
+	RecordInsns        int64 // record loop, unsafe
+	RecordSandboxInsns int64 // record loop, naively sandboxed
+	RecordOptInsns     int64 // record loop, optimized sandbox
 }
 
 // PaperSandbox holds the paper's Section V-D numbers.
@@ -28,22 +39,31 @@ var PaperSandbox = SandboxResult{
 	AddedBySandbox: 28, Ratio40: 1.35, Ratio4096: 1.015,
 }
 
-// RunSandbox regenerates the Section V-D measurements.
+// RunSandbox regenerates the Section V-D measurements, plus the
+// naive-vs-optimized sandbox ablation this reproduction adds.
 func RunSandbox() SandboxResult {
 	var r SandboxResult
 
 	// Instruction counts at 40 bytes.
-	r.GenericInsns = runWriteHandler(true, true, 40).insns
-	spec40u := runWriteHandler(false, true, 40)
-	spec40s := runWriteHandler(false, false, 40)
+	r.GenericInsns = runWriteHandler(true, sbUnsafe, 40).insns
+	spec40u := runWriteHandler(false, sbUnsafe, 40)
+	spec40s := runWriteHandler(false, sbNaive, 40)
 	r.SpecificInsns = spec40u.insns
 	r.SpecificSandboxInsns = spec40s.insns
 	r.AddedBySandbox = spec40s.insns - spec40u.insns
 	r.Ratio40 = float64(spec40s.cycles) / float64(spec40u.cycles)
 
-	spec4096u := runWriteHandler(false, true, 4096)
-	spec4096s := runWriteHandler(false, false, 4096)
+	spec4096u := runWriteHandler(false, sbUnsafe, 4096)
+	spec4096s := runWriteHandler(false, sbNaive, 4096)
 	r.Ratio4096 = float64(spec4096s.cycles) / float64(spec4096u.cycles)
+
+	// Optimizer ablation on the same handlers.
+	r.GenericSandboxInsns = runWriteHandler(true, sbNaive, 40).insns
+	r.GenericOptInsns = runWriteHandler(true, sbOptimized, 40).insns
+	r.SpecificOptInsns = runWriteHandler(false, sbOptimized, 40).insns
+	r.RecordInsns = runRecordHandler(sbUnsafe).insns
+	r.RecordSandboxInsns = runRecordHandler(sbNaive).insns
+	r.RecordOptInsns = runRecordHandler(sbOptimized).insns
 	return r
 }
 
@@ -52,11 +72,24 @@ type handlerRun struct {
 	cycles sim.Time
 }
 
+// sboxMode selects how a measured handler is downloaded.
+type sboxMode int
+
+const (
+	sbUnsafe    sboxMode = iota // verified only, no instrumentation
+	sbNaive                     // per-access SFI checks
+	sbOptimized                 // SFI with the static-analysis optimizer
+)
+
+func (m sboxMode) options() core.Options {
+	return core.Options{Unsafe: m == sbUnsafe, OptimizeSFI: m == sbOptimized}
+}
+
 // runWriteHandler executes a remote-write handler on a synthetic message
 // in isolation (Section V-D's methodology) and reports its dynamic
 // instruction count (excluding data copying, which runs through the
 // trusted engine) and total cycles.
-func runWriteHandler(generic, unsafe bool, nbytes int) handlerRun {
+func runWriteHandler(generic bool, mode sboxMode, nbytes int) handlerRun {
 	tb := NewAN2Testbed()
 	owner := tb.K2.Spawn("dsm-app", func(p *aegis.Process) {})
 	node := crl.NewNode(tb.Sys2, owner)
@@ -69,7 +102,7 @@ func runWriteHandler(generic, unsafe bool, nbytes int) handlerRun {
 	if generic {
 		prog = crl.GenericWriteHandler(node.TableAddr(), crl.MaxSegments, 0, 1)
 	}
-	ash := tb.Sys2.MustDownload(owner, prog, core.Options{Unsafe: unsafe})
+	ash := tb.Sys2.MustDownload(owner, prog, mode.options())
 
 	// Build the message in a buffer in the owner's space.
 	msgSeg := owner.AS.Alloc(8192, "synthetic-msg")
@@ -115,6 +148,40 @@ func runWriteHandler(generic, unsafe bool, nbytes int) handlerRun {
 	return run
 }
 
+// runRecordHandler executes the fixed-record copy loop (the loop-shaped
+// variant of the Section V-D write) on a synthetic message and reports
+// its dynamic instruction count.
+func runRecordHandler(mode sboxMode) handlerRun {
+	tb := NewAN2Testbed()
+	owner := tb.K2.Spawn("dsm-app", func(p *aegis.Process) {})
+	node := crl.NewNode(tb.Sys2, owner)
+	_, seg, err := node.AddSegment(8192, "shared")
+	if err != nil {
+		panic(err)
+	}
+	prog := crl.FixedRecordWriteHandler(seg.Base+64, seg.Base)
+	ash := tb.Sys2.MustDownload(owner, prog, mode.options())
+
+	msgSeg := owner.AS.Alloc(4096, "synthetic-msg")
+	msg := tb.K2.Bytes(msgSeg.Base, 4096)
+	for i := 0; i < crl.RecordBytes; i++ {
+		msg[i] = byte(i)
+	}
+
+	var run handlerRun
+	tb.Eng.Schedule(0, func() {
+		mc := aegis.SyntheticMsg(tb.K2, owner, aegis.RingEntry{Addr: msgSeg.Base, Len: crl.RecordBytes})
+		d := ash.HandleMsg(mc)
+		if d != aegis.DispConsumed || ash.InvoluntaryFault != nil {
+			panic(ash.InvoluntaryFault)
+		}
+		run.insns = ash.LastInsns()
+		run.cycles = mc.Cost()
+	})
+	tb.Eng.Run()
+	return run
+}
+
 // Table renders the Section V-D results.
 func (r SandboxResult) Table() *Table {
 	return &Table{
@@ -129,6 +196,12 @@ func (r SandboxResult) Table() *Table {
 			{"added by sandboxing (insns)", []float64{float64(r.AddedBySandbox)}, []float64{float64(PaperSandbox.AddedBySandbox)}},
 			{"time ratio, 40-byte write", []float64{r.Ratio40}, []float64{PaperSandbox.Ratio40}},
 			{"time ratio, 4096-byte write", []float64{r.Ratio4096}, []float64{PaperSandbox.Ratio4096}},
+			{"app-specific optimized sandbox (insns)", []float64{float64(r.SpecificOptInsns)}, nil},
+			{"generic sandboxed naive (insns)", []float64{float64(r.GenericSandboxInsns)}, nil},
+			{"generic sandboxed optimized (insns)", []float64{float64(r.GenericOptInsns)}, nil},
+			{"record loop hand-crafted (insns)", []float64{float64(r.RecordInsns)}, nil},
+			{"record loop sandboxed naive (insns)", []float64{float64(r.RecordSandboxInsns)}, nil},
+			{"record loop sandboxed optimized (insns)", []float64{float64(r.RecordOptInsns)}, nil},
 		},
 	}
 }

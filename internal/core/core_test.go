@@ -252,9 +252,14 @@ func TestRunawayASHAbortedByWatchdog(t *testing.T) {
 	tb := newTestbed(t)
 	owner := tb.k2.Spawn("app", func(p *aegis.Process) {})
 	b := vcode.NewBuilder("spin")
+	// Spin via a conditional branch that always retakes the loop, so the
+	// assembler's appended ret stays reachable (the hardened verifier
+	// rejects unreachable code).
+	r := b.Temp()
+	b.MovI(r, 1)
 	top := b.NewLabel()
 	b.Bind(top)
-	b.Jmp(top)
+	b.Bne(r, vcode.RZero, top)
 	ash := tb.sys.MustDownload(owner, b.MustAssemble(), Options{})
 	sb, _ := tb.a2.BindVC(owner, 4, 8, 4096)
 	ash.AttachVC(sb)

@@ -78,6 +78,10 @@ type Options struct {
 	// Budget bounds execution in software-check mode; ignored in timer
 	// mode, where the two-clock-tick watchdog governs.
 	Budget int64
+	// OptimizeSFI turns on the static-analysis check optimizer for this
+	// download (check elision, loop hoisting, budget coarsening); the
+	// system policy's other knobs are kept.
+	OptimizeSFI bool
 }
 
 // ASH is an installed handler.
@@ -131,7 +135,13 @@ func (s *System) Download(owner *aegis.Process, prog *vcode.Program, opts Option
 		}
 		a.code = prog.Clone()
 	} else {
-		sp, err := sandbox.Sandbox(prog, s.Policy)
+		pol := s.Policy
+		if opts.OptimizeSFI && !pol.Optimize {
+			opt := *pol
+			opt.Optimize = true
+			pol = &opt
+		}
+		sp, err := sandbox.Sandbox(prog, pol)
 		if err != nil {
 			return nil, err
 		}

@@ -129,6 +129,40 @@ func TrustedWriteHandler() *vcode.Program {
 	return b.MustAssemble()
 }
 
+// RecordBytes is the fixed record size moved by FixedRecordWriteHandler.
+const RecordBytes = 40
+
+// FixedRecordWriteHandler builds the loop variant of the Section V-D
+// remote write: a trusted peer sends a fixed-size 40-byte record which
+// the handler copies word by word to a fixed destination, publishing the
+// last offset written to a progress word each iteration (so a reader can
+// observe partial records) and the full length once the copy completes.
+// The per-word copy loop is the shape the check optimizer targets: the
+// progress-word store runs through a loop-invariant base (its SFI check
+// hoists to the preheader) and the trip count is a download-time
+// constant (the per-iteration budget checks coarsen to one drain).
+//
+// Message layout: [40: record data].
+func FixedRecordWriteHandler(dstAddr, progressAddr uint32) *vcode.Program {
+	b := vcode.NewBuilder("crl-write-record")
+	dst, prog, i, n, v := b.Temp(), b.Temp(), b.Temp(), b.Temp(), b.Temp()
+	b.MovI(dst, int32(dstAddr))
+	b.MovI(prog, int32(progressAddr))
+	b.MovI(i, 0)
+	b.MovI(n, RecordBytes)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.Ld32X(v, vcode.RArg0, i)
+	b.St32X(dst, i, v)
+	b.St32(prog, 0, i)
+	b.AddIU(i, i, 4)
+	b.BltU(i, n, top)
+	b.St32(prog, 0, n) // record complete
+	b.MovI(vcode.RRet, 0)
+	b.Ret()
+	return b.MustAssemble()
+}
+
 // GenericWriteHandler builds the generic remote write modeled after
 // Thekkath et al.: the message carries a segment number, offset and
 // length; the handler validates the request against the segment table

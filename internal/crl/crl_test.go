@@ -261,6 +261,45 @@ func (w *world) rpcOnce(t *testing.T, vc int, msg []byte) []byte {
 	return w.lastReply
 }
 
+func TestFixedRecordWrite(t *testing.T) {
+	// The loop handler copies a whole record and publishes completion,
+	// under both the naive and the optimizing sandbox; the optimizer must
+	// not change what the handler computes, only what it costs.
+	for _, optimize := range []bool{false, true} {
+		w := newWorld(t)
+		_, seg, err := w.node.AddSegment(4096, "shared")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := FixedRecordWriteHandler(seg.Base+64, seg.Base)
+		ash, err := w.sys.Download(w.owner, prog, core.Options{OptimizeSFI: optimize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w.a2.BindVC(w.owner, 7, 8, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ash.AttachVC(b)
+
+		record := make([]byte, RecordBytes)
+		for i := range record {
+			record[i] = byte(0x40 + i)
+		}
+		w.a1.KernelSend(w.a2.Addr(), 7, record)
+		w.eng.Run()
+		if ash.InvoluntaryFault != nil {
+			t.Fatalf("optimize=%v: %v", optimize, ash.InvoluntaryFault)
+		}
+		if got := w.k2.Bytes(seg.Base+64, RecordBytes); string(got) != string(record) {
+			t.Fatalf("optimize=%v: wrote %q", optimize, got)
+		}
+		if v, _ := w.k2.Mem.Load32(seg.Base); v != RecordBytes {
+			t.Fatalf("optimize=%v: progress word = %d, want %d", optimize, v, RecordBytes)
+		}
+	}
+}
+
 func TestRemoteLock(t *testing.T) {
 	w := newWorld(t)
 	w.install(t, LockHandler(w.node.LockSeg.Base, 64, 0, 9), 9, false)
@@ -314,6 +353,7 @@ func TestAllHandlersVerify(t *testing.T) {
 		TrustedWriteHandler(),
 		GenericWriteHandler(w.node.TableAddr(), MaxSegments, 0, 1),
 		LockHandler(w.node.LockSeg.Base, 16, 0, 1),
+		FixedRecordWriteHandler(0x2000, 0x3000),
 	}
 	for _, prog := range progs {
 		if _, err := w.sys.Download(w.owner, prog, core.Options{}); err != nil {

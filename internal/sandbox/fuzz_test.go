@@ -1,0 +1,256 @@
+package sandbox
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ashs/internal/mach"
+	"ashs/internal/vcode"
+)
+
+// The differential property at the heart of the optimizer's safety story:
+// for any verifiable program, optimized instrumentation is architecturally
+// equivalent to naive instrumentation — a clean naive run means a clean
+// optimized run with identical registers (minus the sandbox scratch) and
+// identical region memory in no more dynamic instructions, and a naive
+// fault means an optimized fault (possibly at an earlier pc or of a
+// different kind: the hull check at a group anchor fires before the
+// per-member check it replaces). Neither variant may ever touch memory
+// outside the region, even with a budget too small to finish.
+
+const (
+	fuzzBase = 0x1000
+	fuzzSize = 0x1000
+)
+
+// genProgram builds a random verifiable program: straight-line unsigned
+// arithmetic, direct and indexed memory ops through a few base registers
+// (mostly in-region, sometimes wild), divides with occasionally-zero
+// divisors, forward conditional branches, and properly counted loops.
+// Nothing writes r0, the reserved registers, or the counter/bound of an
+// open loop, and all control flow is forward or counted — so every
+// generated program passes Verify.
+func genProgram(rng *rand.Rand) *vcode.Program {
+	regs := []vcode.Reg{8, 9, 10, 11, 12, 13}
+	bases := []vcode.Reg{14, 15}
+	reg := func() vcode.Reg { return regs[rng.Intn(len(regs))] }
+	base := func() vcode.Reg { return bases[rng.Intn(len(bases))] }
+
+	var insns []vcode.Insn
+	add := func(in vcode.Insn) { insns = append(insns, in) }
+	regionAddr := func() int32 {
+		return fuzzBase + int32(rng.Intn(fuzzSize-0x200))&^3
+	}
+	for _, b := range bases {
+		add(vcode.Insn{Op: vcode.OpMovI, Rd: b, Imm: regionAddr()})
+	}
+	add(vcode.Insn{Op: vcode.OpMovI, Rd: regs[0], Imm: int32(rng.Uint32() % 1000)})
+
+	var pendingBranches []int // indices whose Target must be clamped at the end
+	n := 8 + rng.Intn(25)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(14) {
+		case 0:
+			add(vcode.Insn{Op: vcode.OpMovI, Rd: reg(), Imm: int32(rng.Uint32() % 5000)})
+		case 1:
+			add(vcode.Insn{Op: vcode.OpAddU, Rd: reg(), Rs: reg(), Rt: reg()})
+		case 2:
+			add(vcode.Insn{Op: vcode.OpXorI, Rd: reg(), Rs: reg(), Imm: int32(rng.Intn(1 << 12))})
+		case 3: // clustered direct accesses through one base
+			b := base()
+			off := int32(rng.Intn(0x1c0)) &^ 3
+			add(vcode.Insn{Op: vcode.OpSt32, Rs: b, Imm: off, Rt: reg()})
+			add(vcode.Insn{Op: vcode.OpLd32, Rd: reg(), Rs: b, Imm: off + 4})
+		case 4:
+			add(vcode.Insn{Op: vcode.OpLd32, Rd: reg(), Rs: base(), Imm: int32(rng.Intn(0x200)) &^ 3})
+		case 5:
+			add(vcode.Insn{Op: vcode.OpSt8, Rs: base(), Imm: int32(rng.Intn(0x200)), Rt: reg()})
+		case 6: // occasionally repoint a base, sometimes out of region
+			imm := regionAddr()
+			if rng.Intn(4) == 0 {
+				imm = int32(rng.Uint32() % 0x20000)
+			}
+			add(vcode.Insn{Op: vcode.OpMovI, Rd: base(), Imm: imm})
+		case 7: // indexed access with a bounded index
+			idx := reg()
+			add(vcode.Insn{Op: vcode.OpAndI, Rd: idx, Rs: reg(), Imm: 0xfc})
+			if rng.Intn(2) == 0 {
+				add(vcode.Insn{Op: vcode.OpLd32X, Rd: reg(), Rs: base(), Rt: idx})
+			} else {
+				add(vcode.Insn{Op: vcode.OpSt32X, Rs: base(), Rt: idx, Rd: reg()})
+			}
+		case 8: // divide; divisor sometimes certainly zero, sometimes nonzero
+			d := reg()
+			if rng.Intn(3) == 0 {
+				add(vcode.Insn{Op: vcode.OpMovI, Rd: d, Imm: int32(rng.Intn(2))})
+			}
+			op := vcode.OpDivU
+			if rng.Intn(2) == 0 {
+				op = vcode.OpRemU
+			}
+			add(vcode.Insn{Op: op, Rd: reg(), Rs: reg(), Rt: d})
+		case 9: // forward conditional branch (target clamped to ret below)
+			ops := []vcode.Op{vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU}
+			pendingBranches = append(pendingBranches, len(insns))
+			add(vcode.Insn{Op: ops[rng.Intn(len(ops))], Rs: reg(), Rt: reg(),
+				Target: len(insns) + 2 + rng.Intn(5)})
+		case 10: // counted loop with a memory op in the body
+			i, bound := regs[4], regs[5] // dedicated; body avoids them
+			trips := int32(1+rng.Intn(8)) * 4
+			add(vcode.Insn{Op: vcode.OpMovI, Rd: i, Imm: 0})
+			add(vcode.Insn{Op: vcode.OpMovI, Rd: bound, Imm: trips})
+			top := len(insns)
+			switch rng.Intn(3) {
+			case 0:
+				add(vcode.Insn{Op: vcode.OpSt32X, Rs: bases[0], Rt: i, Rd: regs[0]})
+			case 1:
+				add(vcode.Insn{Op: vcode.OpLd32, Rd: regs[1], Rs: bases[0], Imm: 8})
+			case 2:
+				add(vcode.Insn{Op: vcode.OpAddU, Rd: regs[2], Rs: regs[2], Rt: regs[0]})
+			}
+			add(vcode.Insn{Op: vcode.OpAddIU, Rd: i, Rs: i, Imm: 4})
+			add(vcode.Insn{Op: vcode.OpBltU, Rs: i, Rt: bound, Target: top})
+		case 11:
+			add(vcode.Insn{Op: vcode.OpMulU, Rd: reg(), Rs: reg(), Rt: reg()})
+		case 12:
+			add(vcode.Insn{Op: vcode.OpBswap, Rd: reg(), Rs: reg()})
+		case 13:
+			add(vcode.Insn{Op: vcode.OpSrlI, Rd: reg(), Rs: reg(), Imm: int32(rng.Intn(8))})
+		}
+	}
+	add(vcode.Insn{Op: vcode.OpRet})
+	for _, b := range pendingBranches {
+		if insns[b].Target >= len(insns) {
+			insns[b].Target = len(insns) - 1 // the ret
+		}
+	}
+	return &vcode.Program{Name: "fuzz", Insns: insns, NextReg: 16}
+}
+
+type runResult struct {
+	fault *vcode.Fault
+	m     *vcode.Machine
+	mem   *vcode.FlatMem
+	guard *guardMem
+	insns int64
+}
+
+func runVariant(t *testing.T, p *vcode.Program, pol *Policy, budget int64) (*Program, runResult) {
+	t.Helper()
+	sp, err := Sandbox(p, pol)
+	if err != nil {
+		t.Fatalf("sandbox: %v\n%s", err, p)
+	}
+	// Memory much larger than the SFI region, wrapped in a guard, so any
+	// access that escapes the region is detected rather than masked.
+	flat := vcode.NewFlatMem(0, 0x20000)
+	for a := uint32(fuzzBase); a < fuzzBase+fuzzSize; a += 4 {
+		_ = flat.Store32(a, a*2654435761)
+	}
+	g := &guardMem{inner: flat, lo: fuzzBase, hi: fuzzBase + fuzzSize}
+	m := vcode.NewMachine(mach.DS5000_240(), g)
+	m.CycleLimit = 3_000_000 // backstop only; generated loops are bounded
+	sp.Attach(m, fuzzBase, fuzzBase+fuzzSize, budget)
+	f := m.Run(sp.Code)
+	return sp, runResult{fault: f, m: m, mem: flat, guard: g, insns: m.Insns}
+}
+
+// checkDifferential runs p under naive and optimized instrumentation and
+// enforces the equivalence oracle. Returns false (after t.Error) on any
+// divergence so quick.Check reports the failing seed.
+func checkDifferential(t *testing.T, p *vcode.Program, budget BudgetMode) bool {
+	t.Helper()
+	naive := DefaultPolicy()
+	naive.Budget = budget
+	opt := DefaultPolicy()
+	opt.Budget = budget
+	opt.Optimize = true
+
+	const generous = 10_000_000
+	spN, rn := runVariant(t, p, naive, generous)
+	spO, ro := runVariant(t, p, opt, generous)
+
+	okRun := true
+	bad := func(format string, args ...any) {
+		t.Errorf(format, args...)
+		okRun = false
+	}
+	if rn.guard.escaped {
+		bad("naive instrumentation let an access escape the region\n%s", spN.Code)
+	}
+	if ro.guard.escaped {
+		bad("optimized instrumentation let an access escape the region\n%s", spO.Code)
+	}
+	switch {
+	case rn.fault == nil && ro.fault != nil:
+		bad("naive clean but optimized faulted: %v\n%s", ro.fault, p)
+	case rn.fault != nil && ro.fault == nil:
+		bad("naive faulted (%v) but optimized ran clean\n%s", rn.fault, p)
+	case rn.fault == nil && ro.fault == nil:
+		// The dynamic-count guarantee holds on clean runs only: a group
+		// anchor front-loads its hull checks, so a run that faults mid-
+		// group may execute a couple more check instructions than naive.
+		if ro.insns > rn.insns {
+			bad("optimized ran %d insns, naive %d\n%s", ro.insns, rn.insns, p)
+		}
+		for r := 0; r < vcode.NumRegs; r++ {
+			if vcode.Reg(r) == vcode.RSbox {
+				continue // sandbox scratch legitimately differs
+			}
+			if rn.m.Regs[r] != ro.m.Regs[r] {
+				bad("r%d: naive=%#x optimized=%#x\n%s", r, rn.m.Regs[r], ro.m.Regs[r], p)
+			}
+		}
+		for a := uint32(fuzzBase); a < fuzzBase+fuzzSize; a += 4 {
+			vn, _ := rn.mem.Load32(a)
+			vo, _ := ro.mem.Load32(a)
+			if vn != vo {
+				bad("mem[%#x]: naive=%#x optimized=%#x\n%s", a, vn, vo, p)
+				break
+			}
+		}
+	}
+
+	// Starved-budget run (software mode): equivalence is not required —
+	// the coarse drain faults earlier than per-iteration checks — but
+	// confinement is absolute.
+	if budget == BudgetSoftware {
+		_, rs := runVariant(t, p, opt, 25)
+		if rs.guard.escaped {
+			bad("optimized run escaped the region under a starved budget\n%s", spO.Code)
+		}
+		_, rs = runVariant(t, p, naive, 25)
+		if rs.guard.escaped {
+			bad("naive run escaped the region under a starved budget\n%s", spN.Code)
+		}
+	}
+	return okRun
+}
+
+func diffSeed(t *testing.T, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	p := genProgram(rng)
+	mode := BudgetTimer
+	if seed%2 == 0 {
+		mode = BudgetSoftware
+	}
+	return checkDifferential(t, p, mode)
+}
+
+func TestDifferentialSFIQuick(t *testing.T) {
+	prop := func(seed int64) bool { return diffSeed(t, seed) }
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func FuzzDifferentialSFI(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 3, 42, 1996, -7, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		diffSeed(t, seed)
+	})
+}

@@ -1,0 +1,455 @@
+// SFI check optimizer: a static-analysis pass over the verified program
+// that emits the same protection as instrumentNaive with fewer dynamic
+// instructions. Three transformations, all proven against the naive
+// instrumentation by the differential fuzz tests:
+//
+//  1. Check elision. A passed bounds check certifies one point address
+//     reg+imm; because the SFI region is a single contiguous range, two
+//     certified points at most analysis.MaxCertSpan apart certify every
+//     offset between them. Direct memory ops in a basic block that share
+//     an unmodified base register therefore form a group needing at most
+//     two check pairs (the hull endpoints), and a forward dataflow over
+//     CheckSets elides even those when a dominating check on every path
+//     already covers them. Divide checks are elided when the interval
+//     analysis proves the divisor nonzero.
+//
+//  2. Check hoisting. A group anchor inside a loop whose base register is
+//     never written in the loop, and whose block dominates every latch and
+//     every exit-edge source, performs the same check with the same
+//     register value on every iteration; its endpoint checks move to a
+//     preheader that runs once per loop entry.
+//
+//  3. Budget coarsening. A single-block counted loop with a provable trip
+//     count drains trips x bodyLen from the software budget once in the
+//     preheader instead of bodyLen per iteration at the latch.
+//
+// Programs containing indirect jumps fall back to naive instrumentation:
+// jump-table entry points would invalidate the dataflow's edge set.
+package sandbox
+
+import (
+	"math"
+
+	"ashs/internal/vcode"
+	"ashs/internal/vcode/analysis"
+)
+
+type optStats struct {
+	elided    int // check sites present in naive output but not emitted
+	hoisted   int // check pairs emitted in loop preheaders
+	coarsened int // loops whose budget checks collapsed into one drain
+}
+
+// memGroup is a cluster of direct memory ops in one basic block sharing a
+// base register that is not redefined between them, with an offset hull no
+// wider than analysis.MaxCertSpan. Checking the hull endpoints certifies
+// every member.
+type memGroup struct {
+	reg            vcode.Reg
+	minImm, maxImm int64
+	members        int
+}
+
+// preheader is the code block synthesized in front of a loop header.
+type preheader struct {
+	loop    *analysis.Loop
+	hoisted []*memGroup
+	coarse  *coarsePlan
+}
+
+type coarsePlan struct {
+	trips    int64
+	headerPC int // original pc of the loop's first instruction
+	latchPC  int // original pc of the backward branch
+}
+
+func isDirectMem(op vcode.Op) bool {
+	return (op.IsLoad() || op.IsStore()) && !op.IsIndexed()
+}
+
+func isIndexedMem(op vcode.Op) bool {
+	return (op.IsLoad() || op.IsStore()) && op.IsIndexed()
+}
+
+// buildGroups clusters the direct memory ops of every block. A group is
+// open per base register and closes when the register is redefined, a call
+// clobbers everything, the block ends, or adding an op would stretch the
+// hull past MaxCertSpan.
+func buildGroups(c *analysis.CFG) map[int]*memGroup {
+	anchorOf := map[int]*memGroup{}
+	for _, b := range c.Blocks {
+		open := map[vcode.Reg]*memGroup{}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := c.Prog.Insns[pc]
+			if in.Op == vcode.OpCall {
+				open = map[vcode.Reg]*memGroup{}
+			}
+			if isDirectMem(in.Op) {
+				imm := int64(in.Imm)
+				g := open[in.Rs]
+				if g != nil {
+					lo, hi := g.minImm, g.maxImm
+					if imm < lo {
+						lo = imm
+					}
+					if imm > hi {
+						hi = imm
+					}
+					if hi-lo <= analysis.MaxCertSpan {
+						g.minImm, g.maxImm, g.members = lo, hi, g.members+1
+					} else {
+						g = nil
+					}
+				}
+				if g == nil {
+					g = &memGroup{reg: in.Rs, minImm: imm, maxImm: imm, members: 1}
+					open[in.Rs] = g
+					anchorOf[pc] = g
+				}
+			}
+			for _, d := range analysis.Defs(in) {
+				delete(open, d)
+			}
+		}
+	}
+	return anchorOf
+}
+
+// stepCheck is the shared transfer function of the availability dataflow
+// and the emission walk: what an instruction does to the set of certified
+// addresses. The gen rule at a group anchor certifies the whole hull
+// regardless of the incoming facts (the emitted or elided checks together
+// always establish it), which keeps the transfer monotone.
+func stepCheck(s *analysis.CheckSet, in vcode.Insn, anchor *memGroup) {
+	if in.Op == vcode.OpCall {
+		s.KillAll() // syscalls may write any register
+		return
+	}
+	if anchor != nil {
+		s.AddSpan(anchor.reg, anchor.minImm, anchor.maxImm)
+	}
+	if isIndexedMem(in.Op) {
+		s.AddPair(in.Rs, in.Rt)
+	}
+	for _, d := range analysis.Defs(in) {
+		s.KillReg(d)
+	}
+}
+
+// planPreheaders selects, per loop, the group anchors whose checks hoist
+// and the budget coarsening, returning plans keyed by header start pc.
+func planPreheaders(c *analysis.CFG, pol *Policy, anchorOf map[int]*memGroup,
+	dom *analysis.Dom, loops []analysis.Loop, rng *analysis.Ranges, st *optStats) map[int]*preheader {
+
+	plans := map[int]*preheader{}
+	for li := range loops {
+		l := &loops[li]
+		header := &c.Blocks[l.Header]
+
+		// A preheader sits physically before the header, so an in-loop
+		// block that falls through into the header (a fall-through back
+		// edge) would execute it every iteration; skip such loops.
+		ok := true
+		for _, p := range l.Blocks {
+			pb := &c.Blocks[p]
+			if pb.End == header.Start && c.Prog.Insns[pb.Last()].Op != vcode.OpJmp {
+				ok = false
+			}
+			for pc := pb.Start; pc < pb.End; pc++ {
+				switch c.Prog.Insns[pc].Op {
+				case vcode.OpCall, vcode.OpRet, vcode.OpJmpR:
+					// Calls clobber registers mid-iteration and rets leave
+					// without passing the latch; neither supports the
+					// "same check every iteration" argument.
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+
+		var defsInLoop analysis.RegSet
+		for _, p := range l.Blocks {
+			pb := &c.Blocks[p]
+			for pc := pb.Start; pc < pb.End; pc++ {
+				for _, d := range analysis.Defs(c.Prog.Insns[pc]) {
+					defsInLoop = defsInLoop.Add(d)
+				}
+			}
+		}
+
+		dominatesLoopTail := func(b int) bool {
+			for _, latch := range l.Latches {
+				if !dom.Dominates(b, latch) {
+					return false
+				}
+			}
+			for _, e := range l.Exits {
+				if !dom.Dominates(b, e) {
+					return false
+				}
+			}
+			return true
+		}
+
+		ph := &preheader{loop: l}
+		for _, p := range l.Blocks {
+			pb := &c.Blocks[p]
+			if !dominatesLoopTail(p) {
+				continue
+			}
+			for pc := pb.Start; pc < pb.End; pc++ {
+				g := anchorOf[pc]
+				if g != nil && !defsInLoop.Has(g.reg) {
+					ph.hoisted = append(ph.hoisted, g)
+				}
+			}
+		}
+
+		if pol.Budget == BudgetSoftware {
+			if trips, tok := c.TripBound(l, rng); tok {
+				blockLen := int64(header.End - header.Start)
+				// The emitted body is at most 3 instructions per original
+				// one, so trips*(4*blockLen+8) bounds the final drain.
+				if trips*(4*blockLen+8) <= math.MaxInt32 {
+					ph.coarse = &coarsePlan{trips: trips, headerPC: header.Start, latchPC: header.Last()}
+					st.coarsened++
+				}
+			}
+		}
+
+		if len(ph.hoisted) > 0 || ph.coarse != nil {
+			plans[header.Start] = ph
+		}
+	}
+	return plans
+}
+
+// checkFacts runs the availability dataflow to its greatest fixpoint:
+// block INs start optimistic (Top) except the entry, the meet at merges is
+// intersection, and hoisted-check facts are injected into their loop
+// header's IN (the preheader establishes them on every entry path, and
+// nothing in the loop kills them). Verify has already rejected unreachable
+// code, so every block's fixpoint IN derives from the concrete entry state.
+func checkFacts(c *analysis.CFG, anchorOf map[int]*memGroup, plans map[int]*preheader) []*analysis.CheckSet {
+	n := len(c.Blocks)
+	ins := make([]*analysis.CheckSet, n)
+	outs := make([]*analysis.CheckSet, n)
+	for b := 0; b < n; b++ {
+		outs[b] = analysis.TopCheckSet()
+	}
+	order := c.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			var in *analysis.CheckSet
+			if b == 0 {
+				in = analysis.NewCheckSet() // entry: nothing certified yet
+			} else {
+				in = analysis.TopCheckSet()
+			}
+			for _, p := range c.Blocks[b].Preds {
+				in.Meet(outs[p])
+			}
+			if ph, ok := plans[c.Blocks[b].Start]; ok {
+				for _, g := range ph.hoisted {
+					in.AddSpan(g.reg, g.minImm, g.maxImm)
+				}
+			}
+			ins[b] = in
+			out := in.Clone()
+			for pc := c.Blocks[b].Start; pc < c.Blocks[b].End; pc++ {
+				stepCheck(out, c.Prog.Insns[pc], anchorOf[pc])
+			}
+			if !out.Equal(outs[b]) {
+				outs[b] = out
+				changed = true
+			}
+		}
+	}
+	return ins
+}
+
+// instrumentOptimized emits optimized SFI instrumentation for p, returning
+// ok=false when the program is outside the optimizer's domain (indirect
+// jumps) and the caller should fall back to instrumentNaive.
+func instrumentOptimized(p *vcode.Program, pol *Policy) ([]vcode.Insn, []int, optStats, bool) {
+	var st optStats
+	c := analysis.Build(p)
+	if c.HasIndirect {
+		return nil, nil, st, false
+	}
+	anchorOf := buildGroups(c)
+	dom := c.Dominators()
+	loops := c.NaturalLoops(dom)
+	rng := c.Ranges()
+	plans := planPreheaders(c, pol, anchorOf, dom, loops, rng, &st)
+	ins := checkFacts(c, anchorOf, plans)
+
+	out := make([]vcode.Insn, 0, len(p.Insns)*2+pol.PrologueLen+pol.EpilogueLen)
+	outSrc := make([]int, 0, cap(out)) // original pc each emitted insn belongs to
+	emit := func(src int, in vcode.Insn) {
+		out = append(out, in)
+		outSrc = append(outSrc, src)
+	}
+	emitPair := func(src int, reg vcode.Reg, imm int64) {
+		emit(src, vcode.Insn{Op: vcode.OpSboxMask, Rd: vcode.RSbox, Rs: reg, Imm: int32(imm)})
+		emit(src, vcode.Insn{Op: vcode.OpSboxChk, Rd: vcode.RSbox})
+	}
+
+	for i := 0; i < pol.PrologueLen; i++ {
+		emit(-1, vcode.Insn{Op: vcode.OpNop})
+	}
+
+	oldToNew := make([]int, len(p.Insns))
+	preheaderPos := map[int]int{} // header orig pc -> emitted preheader start
+	type coarseEmit struct {
+		budIdx int // emitted index of the placeholder ChkBudget
+		plan   *coarsePlan
+	}
+	var coarses []coarseEmit
+	suppressedLatch := map[int]bool{} // orig pc of latch branches with no inline check
+
+	for bi := range c.Blocks {
+		b := &c.Blocks[bi]
+		if ph, ok := plans[b.Start]; ok {
+			preheaderPos[b.Start] = len(out)
+			if ph.coarse != nil {
+				coarses = append(coarses, coarseEmit{budIdx: len(out), plan: ph.coarse})
+				suppressedLatch[ph.coarse.latchPC] = true
+				emit(-1, vcode.Insn{Op: vcode.OpChkBudget}) // Imm patched below
+			}
+			for _, g := range ph.hoisted {
+				emitPair(-1, g.reg, g.minImm)
+				st.hoisted++
+				if g.maxImm != g.minImm {
+					emitPair(-1, g.reg, g.maxImm)
+					st.hoisted++
+				}
+			}
+		}
+		state := ins[bi].Clone()
+		for pc := b.Start; pc < b.End; pc++ {
+			in := p.Insns[pc]
+			oldToNew[pc] = len(out)
+			switch {
+			case isDirectMem(in.Op):
+				if g := anchorOf[pc]; g != nil {
+					pairs := 0
+					if !state.Covers(g.reg, g.minImm) {
+						emitPair(pc, g.reg, g.minImm)
+						pairs++
+					}
+					if g.maxImm != g.minImm && !state.Covers(g.reg, g.maxImm) {
+						emitPair(pc, g.reg, g.maxImm)
+						pairs++
+					}
+					st.elided += g.members - pairs
+				}
+				// The access itself runs in original form: its address is
+				// inside the certified hull.
+				emit(pc, in)
+			case isIndexedMem(in.Op):
+				if state.CoversPair(in.Rs, in.Rt) {
+					st.elided++
+					emit(pc, in)
+				} else {
+					emit(pc, vcode.Insn{Op: vcode.OpAddU, Rd: vcode.RSbox, Rs: in.Rs, Rt: in.Rt})
+					emit(pc, vcode.Insn{Op: vcode.OpSboxChk, Rd: vcode.RSbox})
+					rewritten := in
+					rewritten.Rs = vcode.RSbox
+					rewritten.Rt = vcode.RZero
+					emit(pc, rewritten)
+				}
+			case in.Op == vcode.OpDivU || in.Op == vcode.OpRemU:
+				switch {
+				case pol.OptimisticExceptions:
+					emit(pc, in)
+				case rng.Before(pc, in.Rt).Lo >= 1:
+					st.elided++ // divisor provably nonzero
+					emit(pc, in)
+				default:
+					emit(pc, vcode.Insn{Op: vcode.OpChkDiv, Rs: in.Rt})
+					emit(pc, in)
+				}
+			case in.Op == vcode.OpRet:
+				for i := 0; i < pol.EpilogueLen; i++ {
+					emit(pc, vcode.Insn{Op: vcode.OpNop})
+				}
+				emit(pc, in)
+			default:
+				emit(pc, in)
+			}
+			stepCheck(state, in, anchorOf[pc])
+		}
+	}
+
+	// Retarget static branches. A branch into a loop header goes to the
+	// preheader when it is an entry edge, and straight to the header when
+	// it is a back edge (iterations must not repeat the preheader).
+	// Fall-through entry edges pass through the preheader naturally.
+	for i := range out {
+		switch out[i].Op {
+		case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+			t := out[i].Target
+			if php, ok := preheaderPos[t]; ok {
+				src := outSrc[i]
+				if src < 0 || !plans[t].loop.Contains(c.BlockOf[src]) {
+					out[i].Target = php
+					continue
+				}
+			}
+			out[i].Target = oldToNew[t]
+		}
+	}
+
+	if pol.Budget == BudgetSoftware {
+		isBackward := func(i int) bool {
+			switch out[i].Op {
+			case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+				return out[i].Target <= i && !suppressedLatch[outSrc[i]]
+			}
+			return false
+		}
+		shift := make([]int, len(out)+1)
+		added := 0
+		for i := range out {
+			shift[i] = i + added
+			if isBackward(i) {
+				added++
+			}
+		}
+		shift[len(out)] = len(out) + added
+
+		shifted := make([]vcode.Insn, 0, len(out)+added)
+		for i, in := range out {
+			if isBackward(i) {
+				body := int32(i - in.Target + 1)
+				shifted = append(shifted, vcode.Insn{Op: vcode.OpChkBudget, Imm: body})
+			}
+			shifted = append(shifted, in)
+		}
+		for i := range shifted {
+			switch shifted[i].Op {
+			case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+				shifted[i].Target = shift[shifted[i].Target]
+			}
+		}
+		for i, v := range oldToNew {
+			oldToNew[i] = shift[v]
+		}
+		// Patch the coarse drains now that final positions are known:
+		// trips x the emitted body length [header, latch branch].
+		for _, ce := range coarses {
+			perIter := int64(oldToNew[ce.plan.latchPC]) - int64(oldToNew[ce.plan.headerPC]) + 1
+			total := ce.plan.trips * perIter
+			// planPreheaders bounded trips*(4*blockLen+8); the emitted body
+			// is at most 3 insns per original, so total fits.
+			shifted[shift[ce.budIdx]].Imm = int32(total)
+		}
+		out = shifted
+	}
+
+	return out, oldToNew, st, true
+}

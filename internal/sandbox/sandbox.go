@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"ashs/internal/vcode"
+	"ashs/internal/vcode/analysis"
 )
 
 // Hardware selects the protection mechanism of the target machine.
@@ -58,6 +59,14 @@ type Policy struct {
 	Hardware     Hardware
 	Budget       BudgetMode
 	AllowedCalls map[string]bool // kernel entry points callable via OpCall
+
+	// Optimize enables the static-analysis SFI optimizer: redundant
+	// address checks are elided when a dominating check already certifies
+	// the address, loop-invariant checks are hoisted to a preheader, and
+	// budget checks for statically bounded loops are coarsened into one
+	// up-front drain. Programs containing indirect jumps fall back to the
+	// naive per-reference instrumentation.
+	Optimize bool
 
 	// OptimisticExceptions models the "more sophisticated implementation"
 	// of Section III-B1: with operating-system support for handler
@@ -133,6 +142,50 @@ func Verify(p *vcode.Program, pol *Policy) error {
 	if n == 0 || p.Insns[n-1].Op != vcode.OpRet {
 		return &VerifyError{n - 1, vcode.Insn{}, "program must end in ret"}
 	}
+	return verifyCFG(p)
+}
+
+// verifyCFG runs the control-flow half of verification: code that cannot
+// execute, control that can run past the end of the program, and indirect
+// jumps whose target is not statically confined to the program ("jump-table
+// discipline"). Straight-line checks have already passed, so branch targets
+// are in range and the CFG is well formed.
+func verifyCFG(p *vcode.Program) error {
+	c := analysis.Build(p)
+	for _, b := range c.FallsOff {
+		last := c.Blocks[b].Last()
+		return &VerifyError{last, p.Insns[last], "control can fall through past the final ret"}
+	}
+	// Unreachable code has no legitimate purpose in a downloaded handler and
+	// is a classic smuggling vector (e.g. gadgets reached only through an
+	// unverified jump path) — reject it outright. When the program contains
+	// an indirect jump, Reachable over-approximates by treating every block
+	// as a potential target, so this check never mis-fires on jmpr targets.
+	reach := c.Reachable()
+	for b, ok := range reach {
+		if !ok {
+			pc := c.Blocks[b].Start
+			return &VerifyError{pc, p.Insns[pc], "unreachable code"}
+		}
+	}
+	// Indirect jumps must establish jump-table discipline: the target
+	// register's value must be provably within the program at the jump, as
+	// established by the interval analysis (e.g. a preceding movi, andi
+	// mask, or bounded arithmetic). The table translation at run time then
+	// maps the verified pre-instrumentation index to instrumented code.
+	if c.HasIndirect {
+		r := c.Ranges()
+		for pc, in := range p.Insns {
+			if in.Op != vcode.OpJmpR {
+				continue
+			}
+			iv := r.Before(pc, in.Rs)
+			if uint64(iv.Hi) >= uint64(len(p.Insns)) {
+				return &VerifyError{pc, in,
+					"indirect jump target not provably inside the program (jump-table discipline)"}
+			}
+		}
+	}
 	return nil
 }
 
@@ -162,19 +215,109 @@ type Program struct {
 	// AddedStatic is the number of instructions instrumentation added.
 	AddedStatic int
 	Policy      *Policy
+
+	// Optimizer statistics (zero under naive instrumentation): address or
+	// divide checks elided because a dominating check already certifies
+	// them, check pairs hoisted into loop preheaders, and loops whose
+	// per-iteration budget checks were coarsened into one up-front drain.
+	ChecksElided    int
+	ChecksHoisted   int
+	BudgetCoarsened int
 }
 
 // Sandbox verifies and instruments a program under pol. The input program
-// is not modified.
+// is not modified; the returned Program keeps its own private copy.
 func Sandbox(p *vcode.Program, pol *Policy) (*Program, error) {
 	if err := Verify(p, pol); err != nil {
 		return nil, err
 	}
 	if pol.Hardware == HardwareX86 {
 		// Segmentation hardware isolates the handler: no software checks.
-		return &Program{Orig: p, Code: p.Clone(), JmpTable: identity(len(p.Insns)), Policy: pol}, nil
+		return &Program{Orig: p.Clone(), Code: p.Clone(), JmpTable: identity(len(p.Insns)), Policy: pol}, nil
 	}
 
+	var (
+		out      []vcode.Insn
+		oldToNew []int
+		st       optStats
+	)
+	if pol.Optimize {
+		var ok bool
+		out, oldToNew, st, ok = instrumentOptimized(p, pol)
+		if !ok {
+			out, oldToNew = instrumentNaive(p, pol)
+		}
+	} else {
+		out, oldToNew = instrumentNaive(p, pol)
+	}
+
+	code := &vcode.Program{
+		Name:       p.Name + ".sandboxed",
+		Insns:      out,
+		Persistent: append([]vcode.Reg(nil), p.Persistent...),
+		NextReg:    p.NextReg,
+	}
+	sp := &Program{
+		Orig:            p.Clone(),
+		Code:            code,
+		JmpTable:        oldToNew,
+		AddedStatic:     len(out) - len(p.Insns),
+		Policy:          pol,
+		ChecksElided:    st.elided,
+		ChecksHoisted:   st.hoisted,
+		BudgetCoarsened: st.coarsened,
+	}
+	if err := checkEpilogues(sp); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// checkEpilogues is a self-check on the instrumented output: every ret must
+// be preceded by the full exit sequence, and no control transfer may land
+// inside it (skipping part of the exit code). A failure indicates an
+// instrumenter bug, not a bad input program.
+func checkEpilogues(sp *Program) error {
+	code := sp.Code.Insns
+	epi := sp.Policy.EpilogueLen
+	interior := make([]bool, len(code))
+	for i, in := range code {
+		if in.Op != vcode.OpRet {
+			continue
+		}
+		if i < epi {
+			return fmt.Errorf("sandbox: internal error: ret at %d has no room for the exit sequence", i)
+		}
+		for j := i - epi; j < i; j++ {
+			if code[j].Op != vcode.OpNop {
+				return fmt.Errorf("sandbox: internal error: ret at %d not preceded by the exit sequence", i)
+			}
+		}
+		for j := i - epi + 1; j <= i; j++ {
+			interior[j] = true
+		}
+	}
+	intoInterior := func(t int) bool { return t >= 0 && t < len(interior) && interior[t] }
+	for i, in := range code {
+		switch in.Op {
+		case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU, vcode.OpJmp:
+			if intoInterior(in.Target) {
+				return fmt.Errorf("sandbox: internal error: branch at %d jumps into an exit sequence", i)
+			}
+		}
+	}
+	for old, t := range sp.JmpTable {
+		if intoInterior(t) {
+			return fmt.Errorf("sandbox: internal error: jump table entry %d lands inside an exit sequence", old)
+		}
+	}
+	return nil
+}
+
+// instrumentNaive is the baseline Wahbe-style rewrite: every memory
+// operation is staged and checked, every divide gets a zero check, and (in
+// software-budget mode) every backward jump drains the budget.
+func instrumentNaive(p *vcode.Program, pol *Policy) ([]vcode.Insn, []int) {
 	out := make([]vcode.Insn, 0, len(p.Insns)*2+pol.PrologueLen+pol.EpilogueLen)
 	oldToNew := make([]int, len(p.Insns))
 
@@ -247,20 +390,7 @@ func Sandbox(p *vcode.Program, pol *Policy) (*Program, error) {
 	if pol.Budget == BudgetSoftware {
 		out, oldToNew = insertBudgetChecks(out, oldToNew)
 	}
-
-	code := &vcode.Program{
-		Name:       p.Name + ".sandboxed",
-		Insns:      out,
-		Persistent: append([]vcode.Reg(nil), p.Persistent...),
-		NextReg:    p.NextReg,
-	}
-	return &Program{
-		Orig:        p,
-		Code:        code,
-		JmpTable:    oldToNew,
-		AddedStatic: len(out) - len(p.Insns),
-		Policy:      pol,
-	}, nil
+	return out, oldToNew
 }
 
 func identity(n int) []int {

@@ -217,10 +217,15 @@ func TestSandboxedDivZeroAborts(t *testing.T) {
 func TestSoftwareBudgetAbortsRunawayLoop(t *testing.T) {
 	pol := DefaultPolicy()
 	pol.Budget = BudgetSoftware
+	// A conditional branch that always retakes the loop: the assembler's
+	// appended ret stays reachable (the hardened verifier rejects dead
+	// code), but the branch never falls through at run time.
 	p := assemble(t, func(b *vcode.Builder) {
+		r := b.Temp()
+		b.MovI(r, 1)
 		top := b.NewLabel()
 		b.Bind(top)
-		b.Jmp(top)
+		b.Bne(r, vcode.RZero, top)
 	})
 	sp, err := Sandbox(p, pol)
 	if err != nil {

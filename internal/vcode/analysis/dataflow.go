@@ -1,0 +1,243 @@
+package analysis
+
+import "ashs/internal/vcode"
+
+// Defs returns the registers an instruction writes. OpCall is modeled by
+// the calling convention (it defines RRet); clients that must be sound
+// against arbitrary syscall behaviour (the SFI optimizer) additionally
+// invalidate everything at calls.
+func Defs(in vcode.Insn) []vcode.Reg {
+	switch in.Op {
+	case vcode.OpNop, vcode.OpRet, vcode.OpJmp, vcode.OpJmpR,
+		vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU,
+		vcode.OpSt32, vcode.OpSt16, vcode.OpSt8, vcode.OpSt32X, vcode.OpSt8X,
+		vcode.OpOutput32, vcode.OpSboxChk, vcode.OpChkDiv, vcode.OpChkBudget:
+		return nil
+	case vcode.OpCall:
+		return []vcode.Reg{vcode.RRet}
+	}
+	return []vcode.Reg{in.Rd}
+}
+
+// Uses returns the registers an instruction reads.
+func Uses(in vcode.Insn) []vcode.Reg {
+	switch in.Op {
+	case vcode.OpNop, vcode.OpRet, vcode.OpJmp, vcode.OpMovI,
+		vcode.OpInput32, vcode.OpChkBudget:
+		return nil
+	case vcode.OpMov, vcode.OpBswap, vcode.OpAddIU, vcode.OpAndI, vcode.OpOrI,
+		vcode.OpXorI, vcode.OpSllI, vcode.OpSrlI, vcode.OpSltIU,
+		vcode.OpLd32, vcode.OpLd16, vcode.OpLd8,
+		vcode.OpJmpR, vcode.OpOutput32, vcode.OpSboxMask, vcode.OpChkDiv:
+		return []vcode.Reg{in.Rs}
+	case vcode.OpSt32, vcode.OpSt16, vcode.OpSt8:
+		return []vcode.Reg{in.Rs, in.Rt}
+	case vcode.OpLd32X, vcode.OpLd8X:
+		return []vcode.Reg{in.Rs, in.Rt}
+	case vcode.OpSt32X, vcode.OpSt8X:
+		return []vcode.Reg{in.Rs, in.Rt, in.Rd} // Rd is the stored value
+	case vcode.OpBeq, vcode.OpBne, vcode.OpBltU, vcode.OpBgeU:
+		return []vcode.Reg{in.Rs, in.Rt}
+	case vcode.OpCall:
+		return []vcode.Reg{vcode.RArg0, vcode.RArg1, vcode.RArg2, vcode.RArg3}
+	case vcode.OpCksum32:
+		return []vcode.Reg{in.Rd, in.Rs} // rd <- rd + rs
+	case vcode.OpSboxChk:
+		return []vcode.Reg{in.Rd}
+	}
+	// Three-register ALU forms (including the rejected signed/float ops).
+	return []vcode.Reg{in.Rs, in.Rt}
+}
+
+// RegSet is a set of machine registers as a bitmask (NumRegs <= 32).
+type RegSet uint32
+
+// Has reports membership.
+func (s RegSet) Has(r vcode.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Add returns s with r added.
+func (s RegSet) Add(r vcode.Reg) RegSet { return s | 1<<uint(r) }
+
+// Remove returns s without r.
+func (s RegSet) Remove(r vcode.Reg) RegSet { return s &^ (1 << uint(r)) }
+
+// Liveness holds per-block register liveness.
+type Liveness struct {
+	c *CFG
+	// In[b]/Out[b]: registers live at block entry/exit.
+	In, Out []RegSet
+}
+
+// exitLive is the set considered live when the handler returns: persistent
+// registers survive to the next invocation, and the runtime reads RRet to
+// distinguish consume from voluntary abort.
+func exitLive(p *vcode.Program) RegSet {
+	s := RegSet(0).Add(vcode.RRet)
+	for _, r := range p.Persistent {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// Liveness runs backward liveness over the CFG. Blocks ending in OpJmpR
+// are given a fully-live out-set (their successors are unknown).
+func (c *CFG) Liveness() *Liveness {
+	n := len(c.Blocks)
+	lv := &Liveness{c: c, In: make([]RegSet, n), Out: make([]RegSet, n)}
+	exit := exitLive(c.Prog)
+	for changed := true; changed; {
+		changed = false
+		for b := n - 1; b >= 0; b-- {
+			blk := &c.Blocks[b]
+			out := RegSet(0)
+			switch {
+			case c.Prog.Insns[blk.Last()].Op == vcode.OpJmpR:
+				out = ^RegSet(0)
+			case len(blk.Succs) == 0:
+				out = exit
+			default:
+				for _, s := range blk.Succs {
+					out |= lv.In[s]
+				}
+			}
+			in := out
+			for pc := blk.End - 1; pc >= blk.Start; pc-- {
+				insn := c.Prog.Insns[pc]
+				for _, d := range Defs(insn) {
+					in = in.Remove(d)
+				}
+				for _, u := range Uses(insn) {
+					in = in.Add(u)
+				}
+			}
+			if in != lv.In[b] || out != lv.Out[b] {
+				lv.In[b], lv.Out[b] = in, out
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveOutAt returns the registers live immediately after instruction pc
+// (recomputed by walking the block backward; blocks are tiny).
+func (lv *Liveness) LiveOutAt(pc int) RegSet {
+	b := &lv.c.Blocks[lv.c.BlockOf[pc]]
+	live := lv.Out[b.ID]
+	for i := b.End - 1; i > pc; i-- {
+		insn := lv.c.Prog.Insns[i]
+		for _, d := range Defs(insn) {
+			live = live.Remove(d)
+		}
+		for _, u := range Uses(insn) {
+			live = live.Add(u)
+		}
+	}
+	return live
+}
+
+// ReachingDefs holds, per block, which definition sites (instruction
+// indices that define at least one register) reach the block boundary.
+type ReachingDefs struct {
+	c *CFG
+	// Sites lists the def-site instruction indices; bit i of the sets
+	// below refers to Sites[i].
+	Sites  []int
+	siteOf map[int]int
+	In     []bitset
+	Out    []bitset
+}
+
+// ReachingDefs runs forward reaching-definitions over the CFG. OpCall
+// counts as a def site (it defines RRet).
+func (c *CFG) ReachingDefs() *ReachingDefs {
+	rd := &ReachingDefs{c: c, siteOf: map[int]int{}}
+	for pc, in := range c.Prog.Insns {
+		if len(Defs(in)) > 0 {
+			rd.siteOf[pc] = len(rd.Sites)
+			rd.Sites = append(rd.Sites, pc)
+		}
+	}
+	ns, nb := len(rd.Sites), len(c.Blocks)
+	rd.In = make([]bitset, nb)
+	rd.Out = make([]bitset, nb)
+	gen := make([]bitset, nb)
+	kill := make([]bitset, nb)
+	// Def sites grouped by register, for kill sets.
+	byReg := map[vcode.Reg][]int{}
+	for i, pc := range rd.Sites {
+		for _, d := range Defs(c.Prog.Insns[pc]) {
+			byReg[d] = append(byReg[d], i)
+		}
+	}
+	for b := range c.Blocks {
+		rd.In[b], rd.Out[b] = newBitset(ns), newBitset(ns)
+		gen[b], kill[b] = newBitset(ns), newBitset(ns)
+		blk := &c.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			defs := Defs(c.Prog.Insns[pc])
+			if len(defs) == 0 {
+				continue
+			}
+			for _, d := range defs {
+				for _, site := range byReg[d] {
+					kill[b].set(site)
+					gen[b][site/64] &^= 1 << uint(site%64)
+				}
+			}
+			gen[b].set(rd.siteOf[pc])
+		}
+	}
+	order := c.RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			in := newBitset(ns)
+			for _, p := range c.Blocks[b].Preds {
+				for i := range in {
+					in[i] |= rd.Out[p][i]
+				}
+			}
+			out := in.clone()
+			for i := range out {
+				out[i] = (out[i] &^ kill[b][i]) | gen[b][i]
+			}
+			if !in.equal(rd.In[b]) || !out.equal(rd.Out[b]) {
+				rd.In[b], rd.Out[b] = in, out
+				changed = true
+			}
+		}
+	}
+	return rd
+}
+
+// ReachingAt returns the def sites that reach instruction pc (before it
+// executes), as instruction indices.
+func (rd *ReachingDefs) ReachingAt(pc int) []int {
+	b := &rd.c.Blocks[rd.c.BlockOf[pc]]
+	cur := rd.In[b.ID].clone()
+	for i := b.Start; i < pc; i++ {
+		defs := Defs(rd.c.Prog.Insns[i])
+		if len(defs) == 0 {
+			continue
+		}
+		// Kill all sites defining the same registers, then add this site.
+		for _, d := range defs {
+			for si, spc := range rd.Sites {
+				for _, sd := range Defs(rd.c.Prog.Insns[spc]) {
+					if sd == d {
+						cur[si/64] &^= 1 << uint(si%64)
+					}
+				}
+			}
+		}
+		cur.set(rd.siteOf[i])
+	}
+	var out []int
+	for i, spc := range rd.Sites {
+		if cur.has(i) {
+			out = append(out, spc)
+		}
+	}
+	return out
+}
