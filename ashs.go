@@ -34,6 +34,7 @@ import (
 	"ashs/internal/bench"
 	"ashs/internal/core"
 	"ashs/internal/dpf"
+	"ashs/internal/fault"
 	"ashs/internal/mach"
 	"ashs/internal/pipe"
 	"ashs/internal/proto/arp"
@@ -88,6 +89,35 @@ type (
 	// HandlerCtx is the environment of a Go-native handler.
 	HandlerCtx = core.Ctx
 )
+
+// Fault injection and abort fallback:
+type (
+	// AbortMode selects how an injected involuntary abort fires.
+	AbortMode = core.AbortMode
+	// FaultPlane drives seeded deterministic fault schedules against a
+	// testbed's wire, devices, and handler invocations.
+	FaultPlane = fault.Plane
+	// FaultSchedule is one named set of per-layer fault probabilities.
+	FaultSchedule = fault.Schedule
+	// FaultCounters tallies every injected fault a plane performed.
+	FaultCounters = fault.Counters
+)
+
+// Involuntary-abort modes for ASHSystem.InjectAbort.
+const (
+	AbortNone   = core.AbortNone
+	AbortBudget = core.AbortBudget
+	AbortTimer  = core.AbortTimer
+)
+
+// NewFaultPlane builds a deterministic fault plane from a seed and a
+// schedule (see CannedSchedules).
+func NewFaultPlane(seed int64, sched FaultSchedule) *FaultPlane {
+	return fault.New(seed, sched)
+}
+
+// CannedSchedules returns the standard chaos-soak fault schedules.
+func CannedSchedules() []FaultSchedule { return fault.Canned() }
 
 // Handler code and pipes:
 type (
@@ -190,6 +220,22 @@ func NewEthernetWorld() *World {
 		EthHost1: tb.E1, EthHost2: tb.E2,
 		ASH1: tb.Sys1, ASH2: tb.Sys2,
 		IP1: tb.IP1, IP2: tb.IP2}
+}
+
+// AttachFaultPlane hooks a fault plane into every injection point of the
+// world: the wire, both network interfaces, and both ASH systems.
+func (w *World) AttachFaultPlane(p *FaultPlane) {
+	p.AttachWire(w.tb.Sw)
+	if w.AN2Host1 != nil {
+		p.AttachAN2(w.AN2Host1)
+		p.AttachAN2(w.AN2Host2)
+	}
+	if w.EthHost1 != nil {
+		p.AttachEthernet(w.EthHost1)
+		p.AttachEthernet(w.EthHost2)
+	}
+	p.AttachSystem(w.ASH1)
+	p.AttachSystem(w.ASH2)
 }
 
 // Run drives the simulation until no work remains.

@@ -20,6 +20,13 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+# Chaos soak: the deterministic fault plane's canned schedules against the
+# full TCP + NFS workload, plus the fixed-seed determinism check (rerunning
+# a seed must reproduce bit-identical counters). Already covered by the
+# package sweep above, but run by name so a regression is attributable.
+echo "== chaos soak (fixed-seed determinism)"
+go test -race -count=1 -run 'TestChaosSoak|TestChaosSeedDeterminism' ./internal/fault/
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck"
     staticcheck ./...

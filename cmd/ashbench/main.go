@@ -9,7 +9,13 @@
 //	ashbench -quick              # reduced workloads
 //
 // Experiments: table1, fig3, table2, table3, table4, table5, table6,
-// fig4, sandbox, dpf, ablation, lint.
+// fig4, sandbox, dpf, ablation, lint, chaos.
+//
+// The chaos experiment is not from the paper: it soaks the messaging path
+// under the deterministic fault plane (internal/fault) — wire loss,
+// corruption, duplication, reordering, delay, device-level drops and
+// truncation, and forced handler aborts — and reports delivery integrity
+// plus recovery counters for every (schedule, seed) cell.
 package main
 
 import (
@@ -24,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, lint, all")
+		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, lint, chaos, all")
 		quick = flag.Bool("quick", false, "reduced workload sizes (faster, slightly noisier throughput)")
 	)
 	flag.Parse()
@@ -101,6 +107,13 @@ func main() {
 	})
 	run("lint", func() {
 		fmt.Print(bench.RunLint())
+	})
+	run("chaos", func() {
+		p := bench.DefaultChaosParams()
+		if *quick {
+			p = bench.QuickChaosParams()
+		}
+		fmt.Print(bench.RenderChaos(bench.RunChaos(p)))
 	})
 
 	if ran == 0 {

@@ -139,6 +139,21 @@ func SyntheticMsg(k *Kernel, owner *Process, entry RingEntry) *MsgCtx {
 		t0: k.Eng.Now()}
 }
 
+// DeviceFault is an injected device-level failure for one arriving frame.
+// A fault plane installs an InjectFault hook on an interface; the driver
+// consults it once per frame and models the requested failure.
+type DeviceFault struct {
+	// DropRing models AN2 notification-ring overflow: the board has no
+	// ring entry for the arrival and the frame is lost.
+	DropRing bool
+	// DropPool models receive-pool exhaustion (the Ethernet's bounded
+	// kernel pool, the AN2's per-VC buffers): nowhere to DMA, frame lost.
+	DropPool bool
+	// TruncateTo > 0 models a truncated DMA: only that many bytes land in
+	// memory. The IP layer's length validation catches the damage.
+	TruncateTo int
+}
+
 // --------------------------------------------------------------------
 // AN2 (ATM) interface
 // --------------------------------------------------------------------
@@ -178,8 +193,18 @@ type AN2If struct {
 
 	vcs map[int]*VCBinding
 
-	// DroppedNoVC counts messages to unbound circuits.
-	DroppedNoVC uint64
+	// InjectFault, when set, is consulted once per arriving frame so a
+	// fault plane can model device-level failures.
+	InjectFault func(pkt *netdev.Packet) DeviceFault
+
+	// DroppedNoVC counts messages to unbound circuits. CRCDrops counts
+	// frames the board's frame check rejected; the Injected* counters
+	// record failures forced by the fault plane.
+	DroppedNoVC         uint64
+	CRCDrops            uint64
+	InjectedRingDrops   uint64
+	InjectedPoolDrops   uint64
+	InjectedTruncations uint64
 }
 
 // NewAN2 attaches an AN2 interface to host k on switch sw.
@@ -229,10 +254,30 @@ func (b *VCBinding) FreeBuf(idx int) {
 
 // receive is the arrival path (event context, at DMA-complete time).
 func (a *AN2If) receive(pkt *netdev.Packet) {
+	// The board verifies the frame check sequence before raising any
+	// notification: frames damaged on the wire never reach software.
+	if pkt.FCS != netdev.FrameCheck(pkt.Data) {
+		a.CRCDrops++
+		return
+	}
 	a.K.Interrupts++
+	var df DeviceFault
+	if a.InjectFault != nil {
+		df = a.InjectFault(pkt)
+	}
+	if df.DropRing {
+		// Notification-ring overflow: the arrival is never raised.
+		a.InjectedRingDrops++
+		return
+	}
 	b := a.vcs[pkt.VC]
 	if b == nil {
 		a.DroppedNoVC++
+		return
+	}
+	if df.DropPool {
+		a.InjectedPoolDrops++
+		b.DroppedNoBuf++
 		return
 	}
 	if len(b.freeBufs) == 0 {
@@ -242,6 +287,10 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 	bufIdx := b.freeBufs[0]
 	seg := b.bufs[bufIdx]
 	n := len(pkt.Data)
+	if df.TruncateTo > 0 && df.TruncateTo < n {
+		a.InjectedTruncations++
+		n = df.TruncateTo
+	}
 	if uint32(n) > seg.Len {
 		// The bound receive buffers are too small for this message: the
 		// DMA engine has nowhere to put it.

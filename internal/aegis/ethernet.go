@@ -39,9 +39,18 @@ type EthernetIf struct {
 	bufs     []Segment // striped kernel receive buffers (2x MTU each)
 	freeBufs []int
 
-	// DroppedNoFilter and DroppedNoBuf count losses.
-	DroppedNoFilter uint64
-	DroppedNoBuf    uint64
+	// InjectFault, when set, is consulted once per arriving frame so a
+	// fault plane can model device-level failures.
+	InjectFault func(pkt *netdev.Packet) DeviceFault
+
+	// DroppedNoFilter and DroppedNoBuf count losses. CRCDrops counts
+	// frames the board's frame check rejected; the Injected* counters
+	// record failures forced by the fault plane.
+	DroppedNoFilter     uint64
+	DroppedNoBuf        uint64
+	CRCDrops            uint64
+	InjectedPoolDrops   uint64
+	InjectedTruncations uint64
 }
 
 // EthRxBuffers is the size of the device's receive pool.
@@ -121,16 +130,39 @@ func StripedIndex(off int) int {
 
 // receive is the frame arrival path.
 func (e *EthernetIf) receive(pkt *netdev.Packet) {
+	// The controller verifies the frame check sequence before raising any
+	// interrupt: frames damaged on the wire never reach software.
+	if pkt.FCS != netdev.FrameCheck(pkt.Data) {
+		e.CRCDrops++
+		return
+	}
 	e.K.Interrupts++
 	prof := e.K.Prof
 
+	var df DeviceFault
+	if e.InjectFault != nil {
+		df = e.InjectFault(pkt)
+	}
+	data := pkt.Data
+	if df.TruncateTo > 0 && df.TruncateTo < len(data) {
+		// Truncated DMA: only a prefix of the frame lands in memory.
+		e.InjectedTruncations++
+		data = data[:df.TruncateTo]
+	}
+
 	// Demultiplex with the compiled DPF trie.
-	id, demuxCycles, ok := e.engine.Demux(pkt.Data)
+	id, demuxCycles, ok := e.engine.Demux(data)
 	if !ok {
 		e.DroppedNoFilter++
 		return
 	}
 	b := e.bindings[id]
+	if df.DropRing || df.DropPool {
+		// Receive-pool exhaustion: nowhere to DMA the frame.
+		e.InjectedPoolDrops++
+		e.DroppedNoBuf++
+		return
+	}
 	if len(e.freeBufs) == 0 {
 		e.DroppedNoBuf++
 		return
@@ -141,9 +173,9 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 
 	// Striping DMA into the kernel buffer, then the driver's software
 	// cache flush over the landing area.
-	n := len(pkt.Data)
+	n := len(data)
 	buf := e.K.Bytes(seg.Base, int(seg.Len))
-	Stripe(buf, pkt.Data)
+	Stripe(buf, data)
 	e.K.Cache.FlushRange(seg.Base, 2*n)
 
 	mc := &MsgCtx{

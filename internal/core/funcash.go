@@ -24,10 +24,13 @@ type FuncASH struct {
 	Sandboxed bool
 	Fn        func(c *Ctx) aegis.Disposition
 
-	sys *System
+	sys    *System
+	detach []func() // de-installs this handler from its bindings
 
 	// Statistics.
 	Invocations  uint64
+	ForcedAborts uint64   // involuntary aborts injected by the fault plane
+	Tripped      bool     // de-installed by the abort trip threshold
 	LastPathCost sim.Time // receive-path cycles accumulated when the last invocation finished
 }
 
@@ -38,15 +41,58 @@ func (s *System) NewFuncASH(owner *aegis.Process, name string, sandboxed bool, f
 }
 
 // AttachVC installs the handler on an AN2 virtual-circuit binding.
-func (f *FuncASH) AttachVC(b *aegis.VCBinding) { b.Handler = f }
+func (f *FuncASH) AttachVC(b *aegis.VCBinding) {
+	b.Handler = f
+	f.OnTrip(func() {
+		if b.Handler == aegis.MsgHandler(f) {
+			b.Handler = nil
+		}
+	})
+}
 
 // AttachEth installs the handler on an Ethernet filter binding.
-func (f *FuncASH) AttachEth(b *aegis.EthBinding) { b.Handler = f }
+func (f *FuncASH) AttachEth(b *aegis.EthBinding) {
+	b.Handler = f
+	f.OnTrip(func() {
+		if b.Handler == aegis.MsgHandler(f) {
+			b.Handler = nil
+		}
+	})
+}
+
+// OnTrip registers a de-installation action run if the handler trips the
+// abort threshold. Callers that install the handler through an endpoint
+// abstraction (the TCP fast path) register their own un-install here.
+func (f *FuncASH) OnTrip(fn func()) { f.detach = append(f.detach, fn) }
 
 // HandleMsg implements aegis.MsgHandler.
 func (f *FuncASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 	f.Invocations++
 	prof := f.sys.K.Prof
+	if inject := f.sys.InjectAbort; inject != nil {
+		if mode, after := inject(f.Name); mode != AbortNone {
+			// The watchdog (or budget check) fires mid-handler. Fn never
+			// ran its commit, so there is nothing to roll back beyond the
+			// partial cycles already burned; the message re-vectors to the
+			// default user-level path, delivered exactly once.
+			if f.Sandboxed {
+				mc.Charge(sim.Time(prof.TimerArmCycles + f.sys.Policy.PrologueLen))
+			}
+			mc.Charge(sim.Time(after))
+			f.ForcedAborts++
+			f.sys.InvoluntaryAborts++
+			f.sys.AbortFallbacks++
+			if th := f.sys.AbortTripThreshold; th > 0 && !f.Tripped && f.ForcedAborts >= uint64(th) {
+				f.Tripped = true
+				f.sys.TrippedHandlers++
+				for _, d := range f.detach {
+					d()
+				}
+			}
+			f.LastPathCost = mc.Cost()
+			return aegis.DispToUser
+		}
+	}
 	if f.Sandboxed {
 		// Watchdog arm + sandbox entry sequence.
 		mc.Charge(sim.Time(prof.TimerArmCycles + f.sys.Policy.PrologueLen))

@@ -63,6 +63,11 @@ func (s *System) syscalls(a *ASH) map[string]vcode.SyscallFn {
 			if err := s.checkRange(a, dst, n); err != nil {
 				return err
 			}
+			if a.journal != nil {
+				// The engine writes dst through the kernel's raw view, so
+				// pre-image the range for involuntary-abort rollback.
+				a.journal.PreImageRange(dst, n)
+			}
 			// Reset persistent registers for a fresh application.
 			for _, r := range re.eng.Prog.Persistent {
 				re.machine.Regs[r] = 0
@@ -119,6 +124,11 @@ func (s *System) trustedCopy(m *vcode.Machine, a *ASH, src, dst uint32, n int) e
 	}
 	if err := s.checkRange(a, dst, n); err != nil {
 		return err
+	}
+	if a.journal != nil {
+		// The copy below bypasses the journaled Memory, so pre-image the
+		// destination for involuntary-abort rollback.
+		a.journal.PreImageRange(dst, n)
 	}
 	prof := s.K.Prof
 	var cycles sim.Time

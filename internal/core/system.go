@@ -56,9 +56,40 @@ type System struct {
 	// high load. Zero means unlimited.
 	RatePerTick int
 
-	// InvoluntaryAborts counts handler executions terminated by the system.
+	// InjectAbort, when set, is consulted before each handler run so a
+	// fault plane can force involuntary aborts. For AbortBudget the value
+	// is an instruction allowance; for AbortTimer a premature cycle limit
+	// standing in for the two-tick watchdog firing mid-handler. The abort
+	// then takes the genuine involuntary-abort path: rollback, fallback
+	// delivery, trip accounting.
+	InjectAbort func(handler string) (AbortMode, int64)
+
+	// AbortTripThreshold de-installs a handler from all its bindings once
+	// its involuntary aborts reach the threshold — a repeatedly faulting
+	// handler degrades permanently to the default user-level path rather
+	// than burning kernel time aborting forever. Zero disables tripping.
+	AbortTripThreshold int
+
+	// InvoluntaryAborts counts handler executions terminated by the
+	// system. AbortFallbacks counts the messages those aborted executions
+	// re-vectored onto the default user-delivery path (the recovery half
+	// of the abort discipline); TrippedHandlers counts de-installations.
 	InvoluntaryAborts uint64
+	AbortFallbacks    uint64
+	TrippedHandlers   uint64
 }
+
+// AbortMode selects how an injected involuntary abort manifests.
+type AbortMode int
+
+const (
+	// AbortNone injects nothing.
+	AbortNone AbortMode = iota
+	// AbortBudget forces instruction-budget exhaustion mid-handler.
+	AbortBudget
+	// AbortTimer forces the two-tick watchdog to expire mid-handler.
+	AbortTimer
+)
 
 type registeredEngine struct {
 	eng     *pipe.Engine
@@ -95,8 +126,10 @@ type ASH struct {
 	sandbox *sandbox.Program // nil when Unsafe
 	code    *vcode.Program
 	machine *vcode.Machine
+	journal *vcode.Journal // undo log for involuntary-abort rollback
 	budget  int64
 	curMC   *aegis.MsgCtx // live only during HandleMsg
+	detach  []func()      // de-installs this handler from its bindings
 
 	// Handler ABI: on entry RArg0 = message address, RArg1 = message
 	// length, RArg2 = VC, RArg3 = source address. On exit RRet = 0 to
@@ -110,8 +143,10 @@ type ASH struct {
 	// Statistics.
 	Invocations      uint64
 	VoluntaryAborts  uint64
+	InvolAborts      uint64       // involuntary aborts of this handler
 	Throttled        uint64       // executions refused by the livelock defense
 	InvoluntaryFault *vcode.Fault // last involuntary abort, for diagnosis
+	Tripped          bool         // de-installed by the abort trip threshold
 
 	// DynamicInsns accumulates executed instructions (for the paper's
 	// instruction-count comparisons).
@@ -148,7 +183,13 @@ func (s *System) Download(owner *aegis.Process, prog *vcode.Program, opts Option
 		a.sandbox = sp
 		a.code = sp.Code
 	}
-	a.machine = vcode.NewMachine(s.K.Prof, owner.AS)
+	// Every store the handler performs goes through an undo journal so an
+	// involuntary abort can roll the owner's memory back bit-for-bit.
+	a.journal = vcode.NewJournal(owner.AS)
+	a.journal.Raw = func(addr uint32, n int) ([]byte, error) {
+		return owner.AS.Bytes(addr, n)
+	}
+	a.machine = vcode.NewMachine(s.K.Prof, a.journal)
 	a.machine.Cache = s.K.Cache
 	a.machine.Syms = s.syscalls(a)
 	if a.sandbox != nil {
@@ -181,10 +222,40 @@ func (s *System) RegisterEngine(e *pipe.Engine) int {
 }
 
 // AttachVC installs the handler on an AN2 virtual-circuit binding.
-func (a *ASH) AttachVC(b *aegis.VCBinding) { b.Handler = a }
+func (a *ASH) AttachVC(b *aegis.VCBinding) {
+	b.Handler = a
+	a.detach = append(a.detach, func() {
+		if b.Handler == aegis.MsgHandler(a) {
+			b.Handler = nil
+		}
+	})
+}
 
 // AttachEth installs the handler on an Ethernet filter binding.
-func (a *ASH) AttachEth(b *aegis.EthBinding) { b.Handler = a }
+func (a *ASH) AttachEth(b *aegis.EthBinding) {
+	b.Handler = a
+	a.detach = append(a.detach, func() {
+		if b.Handler == aegis.MsgHandler(a) {
+			b.Handler = nil
+		}
+	})
+}
+
+// noteInvoluntaryAbort does the shared abort bookkeeping: counters, the
+// fallback-delivery count, and the trip threshold that de-installs a
+// repeatedly faulting handler.
+func (a *ASH) noteInvoluntaryAbort() {
+	a.InvolAborts++
+	a.sys.InvoluntaryAborts++
+	a.sys.AbortFallbacks++
+	if th := a.sys.AbortTripThreshold; th > 0 && !a.Tripped && a.InvolAborts >= uint64(th) {
+		a.Tripped = true
+		a.sys.TrippedHandlers++
+		for _, d := range a.detach {
+			d()
+		}
+	}
+}
 
 // HandleMsg implements aegis.MsgHandler: the kernel invokes the ASH after
 // demultiplexing.
@@ -222,12 +293,29 @@ func (a *ASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 		m.CycleLimit = 0
 	}
 
+	// Snapshot for rollback: persistent registers by value (taken before
+	// the argument registers are loaded, so an aborted invocation leaves
+	// the register file exactly as the previous one did), memory via the
+	// undo journal.
+	regs := m.Regs
+	a.journal.Reset()
+
 	m.Regs[vcode.RArg0] = mc.Entry.Addr
 	m.Regs[vcode.RArg1] = uint32(mc.Entry.Len)
 	m.Regs[vcode.RArg2] = uint32(mc.Entry.VC)
 	m.Regs[vcode.RArg3] = uint32(mc.Entry.Src)
+	savedInsnBudget, savedCycleLimit := m.InsnBudget, m.CycleLimit
+	if inject := a.sys.InjectAbort; inject != nil {
+		switch mode, after := inject(a.Name); mode {
+		case AbortBudget:
+			m.InsnBudget = after
+		case AbortTimer:
+			m.CycleLimit = sim.Time(after)
+		}
+	}
 
 	fault := m.Run(a.code)
+	m.InsnBudget, m.CycleLimit = savedInsnBudget, savedCycleLimit
 	mc.Charge(m.Cycles)
 	a.DynamicInsns += m.Insns
 	if useTimer {
@@ -237,10 +325,15 @@ func (a *ASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 
 	if fault != nil {
 		// Involuntary abort: the system protects itself; the application
-		// "may no longer operate correctly". The message falls back to
-		// the normal user-level path so the application can observe it.
+		// "may no longer operate correctly". Its memory and the handler's
+		// persistent registers roll back to the pre-invocation state, and
+		// the message falls back to the normal user-level path so the
+		// application still observes it — delivered exactly once, by the
+		// demultiplexor's default action.
+		a.journal.Undo()
+		m.Regs = regs
 		a.InvoluntaryFault = fault
-		a.sys.InvoluntaryAborts++
+		a.noteInvoluntaryAbort()
 		return aegis.DispToUser
 	}
 	if m.Regs[vcode.RRet] != 0 {

@@ -1,0 +1,99 @@
+// Package fault is the deterministic fault-injection plane. A Plane
+// composes fault schedules at every layer the messaging path crosses —
+// the wire (drop, corruption, duplication, reordering, delay jitter),
+// the device (notification-ring overflow, buffer-pool exhaustion, DMA
+// truncation), and the kernel (forced involuntary handler aborts) — all
+// driven off one seeded PRNG, so a run replays byte-for-byte from its
+// seed. The protocols above are expected to deliver every payload intact
+// anyway; the chaos soak (soak_test.go, `ashbench -experiment chaos`)
+// enforces exactly that.
+package fault
+
+// WireFaults perturbs frames in flight on the switch. Probabilities are
+// per frame and evaluated in the order the fields are declared; at most
+// one wire fault applies to a given frame.
+type WireFaults struct {
+	// DropProb silently discards the frame.
+	DropProb float64
+	// CorruptProb flips one random payload bit without refreshing the
+	// frame check sequence — the receiving board's CRC must reject it.
+	CorruptProb float64
+	// SneakProb flips one random payload bit and refreshes the FCS, so
+	// the corruption slips past the board and only an end-to-end
+	// checksum can catch it.
+	SneakProb float64
+	// DupProb delivers the frame and re-delivers a copy HoldUs later.
+	DupProb float64
+	// ReorderProb holds the frame back HoldUs and re-introduces it,
+	// letting frames behind it pass — an out-of-order arrival.
+	ReorderProb float64
+	// DelayProb holds the frame for a random jitter in (0, HoldUs].
+	DelayProb float64
+	// HoldUs is the hold interval used by duplication, reordering, and
+	// (as an upper bound) delay jitter. Zero means 50us.
+	HoldUs float64
+}
+
+// DeviceFaults perturbs the receiving network interface. Probabilities
+// are per delivered frame.
+type DeviceFaults struct {
+	// RingOverflowProb models AN2 notification-ring overflow: the frame
+	// is dropped before demultiplexing.
+	RingOverflowProb float64
+	// PoolExhaustProb models receive-buffer-pool exhaustion: nowhere to
+	// DMA, frame lost after demultiplexing.
+	PoolExhaustProb float64
+	// TruncateProb cuts the DMA short, leaving a partial frame whose
+	// inconsistency the protocol layers must detect.
+	TruncateProb float64
+}
+
+// AbortFaults forces involuntary aborts on downloaded handlers.
+// Probabilities are per handler invocation.
+type AbortFaults struct {
+	// BudgetProb exhausts the instruction budget a few instructions in.
+	BudgetProb float64
+	// TimerProb fires the two-tick watchdog mid-handler.
+	TimerProb float64
+}
+
+// Schedule is one named composition of faults across the layers.
+type Schedule struct {
+	Name   string
+	Wire   WireFaults
+	Device DeviceFaults
+	Abort  AbortFaults
+}
+
+// Canned returns the canonical fault schedules the chaos soak runs. The
+// set walks the layers one at a time and then combines them; "baseline"
+// is fault-free so the soak's integrity checking is itself validated.
+func Canned() []Schedule {
+	return []Schedule{
+		{Name: "baseline"},
+		{Name: "loss", Wire: WireFaults{DropProb: 0.02}},
+		{Name: "corruption", Wire: WireFaults{CorruptProb: 0.01, SneakProb: 0.01}},
+		{Name: "duplication", Wire: WireFaults{DupProb: 0.02, HoldUs: 40}},
+		{Name: "reorder", Wire: WireFaults{ReorderProb: 0.02, HoldUs: 60}},
+		{Name: "delay", Wire: WireFaults{DelayProb: 0.05, HoldUs: 120}},
+		{Name: "device", Device: DeviceFaults{
+			RingOverflowProb: 0.01, PoolExhaustProb: 0.01, TruncateProb: 0.01}},
+		{Name: "abort-storm", Abort: AbortFaults{BudgetProb: 0.10, TimerProb: 0.05}},
+		{Name: "everything",
+			Wire: WireFaults{DropProb: 0.005, CorruptProb: 0.003, SneakProb: 0.003,
+				DupProb: 0.005, ReorderProb: 0.005, DelayProb: 0.01, HoldUs: 80},
+			Device: DeviceFaults{
+				RingOverflowProb: 0.003, PoolExhaustProb: 0.003, TruncateProb: 0.003},
+			Abort: AbortFaults{BudgetProb: 0.02, TimerProb: 0.01}},
+	}
+}
+
+// Named returns the canned schedule with the given name.
+func Named(name string) (Schedule, bool) {
+	for _, s := range Canned() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}

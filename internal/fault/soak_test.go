@@ -1,0 +1,101 @@
+package fault_test
+
+import (
+	"testing"
+
+	"ashs/internal/bench"
+	"ashs/internal/fault"
+)
+
+// soakParams is a matrix small enough for CI but still crossing every
+// canned schedule: each cell runs a TCP bulk transfer and an NFS
+// create/write/read-back session concurrently on a faulted testbed, with
+// both payloads byte-verified at the far end.
+func soakParams() bench.ChaosParams {
+	return bench.ChaosParams{
+		Seeds:     []int64{1},
+		TCPBytes:  256 << 10,
+		NFSBytes:  8 << 10,
+		Schedules: fault.Canned(),
+	}
+}
+
+// TestChaosSoak is the chaos soak: under every canned fault schedule both
+// workloads must complete intact, and the recovery counters must line up
+// with what the schedule injects (faults injected => faults absorbed).
+func TestChaosSoak(t *testing.T) {
+	for _, r := range bench.RunChaos(soakParams()) {
+		if !r.TCPOk {
+			t.Errorf("%s/seed %d: TCP transfer failed integrity", r.Schedule, r.Seed)
+		}
+		if !r.NFSOk {
+			t.Errorf("%s/seed %d: NFS session failed integrity", r.Schedule, r.Seed)
+		}
+		switch r.Schedule {
+		case "loss":
+			if r.Faults.WireDrops == 0 {
+				t.Errorf("loss schedule injected no drops")
+			}
+			if r.Retransmits == 0 {
+				t.Errorf("loss schedule provoked no TCP retransmissions")
+			}
+		case "corruption":
+			if r.Faults.WireCorruptions == 0 || r.Faults.WireSneaks == 0 {
+				t.Errorf("corruption schedule injected nothing (%+v)", r.Faults)
+			}
+			if r.CRCDrops == 0 {
+				t.Errorf("board CRC caught no corrupted frames")
+			}
+		case "duplication":
+			if r.Faults.WireDups == 0 {
+				t.Errorf("duplication schedule injected no duplicates")
+			}
+		case "abort-storm":
+			if r.Faults.AbortBudget == 0 || r.Faults.AbortTimer == 0 {
+				t.Errorf("abort storm forced no aborts (%+v)", r.Faults)
+			}
+			if r.InvoluntaryAborts == 0 || r.AbortFallbacks == 0 {
+				t.Errorf("aborts injected but none absorbed (aborts=%d fallbacks=%d)",
+					r.InvoluntaryAborts, r.AbortFallbacks)
+			}
+		}
+	}
+}
+
+// TestChaosSeedDeterminism reruns one faulted cell and requires the two
+// results to be identical field-for-field — same payload outcome, same
+// throughput, same injected-fault counters, same recovery counters. This
+// is the replay contract: a chaos failure is always reproducible from its
+// seed.
+func TestChaosSeedDeterminism(t *testing.T) {
+	p := soakParams()
+	p.TCPBytes = 128 << 10
+	sched, _ := fault.Named("everything")
+	p.Schedules = []fault.Schedule{sched}
+	a := bench.RunChaos(p)
+	b := bench.RunChaos(p)
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("expected one cell per run, got %d/%d", len(a), len(b))
+	}
+	if a[0] != b[0] {
+		t.Fatalf("seed replay diverged:\n run1: %+v\n run2: %+v", a[0], b[0])
+	}
+}
+
+// TestCannedSchedulesNamed pins the schedule registry: every canned
+// schedule is reachable by name and names are unique.
+func TestCannedSchedulesNamed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range fault.Canned() {
+		if seen[s.Name] {
+			t.Errorf("duplicate schedule name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if got, ok := fault.Named(s.Name); !ok || got.Name != s.Name {
+			t.Errorf("Named(%q) = %v, %v", s.Name, got, ok)
+		}
+	}
+	if _, ok := fault.Named("no-such-schedule"); ok {
+		t.Error("Named returned a schedule for an unknown name")
+	}
+}

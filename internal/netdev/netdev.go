@@ -18,6 +18,7 @@ package netdev
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"ashs/internal/mach"
 	"ashs/internal/sim"
@@ -29,7 +30,18 @@ type Packet struct {
 	Src, Dst int // port addresses
 	VC       int
 	Data     []byte
+
+	// FCS is the frame check sequence computed by the transmitting board
+	// over Data. Transmit fills it in; receiving boards verify it and
+	// discard frames whose payload was damaged in flight. An injector that
+	// mutates Data without refreshing FCS models wire corruption the board
+	// catches; refreshing it models corruption that sneaks past the CRC
+	// and must be caught by the end-to-end checksums.
+	FCS uint32
 }
+
+// FrameCheck computes the frame check sequence the boards use.
+func FrameCheck(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
 
 // LinkConfig describes a network technology.
 type LinkConfig struct {
@@ -96,8 +108,9 @@ type Switch struct {
 	// Return false to drop. May mutate the packet (corruption tests).
 	Inject func(p *Packet) bool
 
-	// Statistics.
-	Sent, Delivered, Dropped uint64
+	// Statistics. Redelivered counts frames an injector re-introduced
+	// (duplicates, held-back reorders) via Redeliver.
+	Sent, Delivered, Dropped, Redelivered uint64
 }
 
 // NewSwitch builds a switch over engine eng with profile prof.
@@ -176,6 +189,7 @@ func (p *Port) Transmit(pkt *Packet) error {
 		return fmt.Errorf("%s: no port %d", s.Cfg.Name, pkt.Dst)
 	}
 	pkt.Src = p.addr
+	pkt.FCS = FrameCheck(pkt.Data)
 	s.Sent++
 
 	start := s.Eng.Now()
@@ -191,18 +205,32 @@ func (p *Port) Transmit(pkt *Packet) error {
 			s.Dropped++
 			return
 		}
-		s.Delivered++
-		for i, dst := range s.ports {
-			if pkt.Dst == Broadcast && i == pkt.Src {
-				continue
-			}
-			if pkt.Dst != Broadcast && i != pkt.Dst {
-				continue
-			}
-			if dst.rx != nil {
-				dst.rx(pkt)
-			}
-		}
+		s.deliver(pkt)
 	})
 	return nil
+}
+
+// deliver fans a packet out to its destination port(s) right now.
+func (s *Switch) deliver(pkt *Packet) {
+	s.Delivered++
+	for i, dst := range s.ports {
+		if pkt.Dst == Broadcast && i == pkt.Src {
+			continue
+		}
+		if pkt.Dst != Broadcast && i != pkt.Dst {
+			continue
+		}
+		if dst.rx != nil {
+			dst.rx(pkt)
+		}
+	}
+}
+
+// Redeliver hands pkt to its destination port(s) immediately, bypassing
+// the injector. Fault injectors use it to re-introduce frames they held
+// back (reordering, delay jitter) or cloned (duplication) without the
+// injector seeing its own output again.
+func (s *Switch) Redeliver(pkt *Packet) {
+	s.Redelivered++
+	s.deliver(pkt)
 }

@@ -97,7 +97,10 @@ func Parse(b []byte) (Header, error) {
 		return h, fmt.Errorf("ip: version %d", b[0]>>4)
 	}
 	ihl := int(b[0]&0xf) * 4
-	if ihl < HeaderLen {
+	if ihl < HeaderLen || ihl > len(b) {
+		// Out-of-range IHL: malformed, or a bit flip that survived the
+		// link CRC. Rejecting it here (rather than slicing past the
+		// buffer) keeps corrupted headers on the error path.
 		return h, fmt.Errorf("ip: bad IHL %d", ihl)
 	}
 	if headerChecksum(b[:ihl]) != 0 {

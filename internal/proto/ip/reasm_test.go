@@ -1,0 +1,78 @@
+package ip
+
+import (
+	"testing"
+)
+
+// TestReassemblyNoLeakUnderSustainedLoss drives 1k two-fragment datagrams
+// through the stack with every third one losing its tail fragment. The
+// incomplete reassemblies must be evicted on timeout, their slots must be
+// reused, every intact datagram must still complete, and at the end no
+// reassembly state may linger.
+func TestReassemblyNoLeakUnderSustainedLoss(t *testing.T) {
+	const (
+		datagrams = 1000
+		fragLen   = 512
+	)
+	completed := 0
+	var timeouts uint64
+	leakedSlots, leakedKeys := 0, 0
+	runFragWorld(t, func(w *fragWorld) {
+		payload := make([]byte, 2*fragLen)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		feed := func(id uint16, off int, mf bool, data []byte) bool {
+			d, ok, err := w.st.Input(w.mkFragment(id, off, mf, data))
+			if err != nil {
+				t.Error(err)
+				return false
+			}
+			if ok {
+				w.st.Release(d)
+			}
+			return ok
+		}
+		for i := 0; i < datagrams; i++ {
+			if i > 0 && i%10 == 0 {
+				// Idle long enough for the stragglers to expire; the next
+				// fragment's sweep reclaims their slots.
+				w.p.Compute(w.k.Prof.Cycles(2_500_000))
+			}
+			feed(uint16(i), 0, true, payload[:fragLen])
+			if i%3 == 0 {
+				continue // tail fragment lost
+			}
+			if !feed(uint16(i), fragLen, false, payload[fragLen:]) {
+				t.Errorf("intact datagram %d did not complete", i)
+				return
+			}
+			completed++
+		}
+		// Let the final stragglers expire, then confirm a fresh datagram
+		// still assembles and nothing is left behind.
+		w.p.Compute(w.k.Prof.Cycles(2_500_000))
+		feed(9999, 0, true, payload[:fragLen])
+		if !feed(9999, fragLen, false, payload[fragLen:]) {
+			t.Error("post-loss reassembly did not complete")
+		}
+		timeouts = w.st.ReasmTimeouts
+		leakedKeys = len(w.st.reasm)
+		for _, sl := range w.st.slots {
+			if sl.inUse {
+				leakedSlots++
+			}
+		}
+	})
+	wantComplete := datagrams - (datagrams+2)/3
+	if completed != wantComplete {
+		t.Fatalf("completed %d intact datagrams, want %d", completed, wantComplete)
+	}
+	if timeouts < uint64((datagrams+2)/3) {
+		t.Fatalf("ReasmTimeouts = %d, want >= %d (every lossy datagram evicted)",
+			timeouts, (datagrams+2)/3)
+	}
+	if leakedKeys != 0 || leakedSlots != 0 {
+		t.Fatalf("leaked %d reassembly keys, %d slots", leakedKeys, leakedSlots)
+	}
+}

@@ -262,9 +262,10 @@ func (s *Stack) Input(f link.Frame) (Dgram, bool, error) {
 // inputFragment folds one fragment into its reassembly buffer.
 func (s *Stack) inputFragment(h Header, f link.Frame) (Dgram, bool, error) {
 	p := s.Ep.Owner()
+	now := s.Ep.Kernel().Now()
+	s.sweepReasm(now)
 	key := reasmKey{src: h.Src, id: h.ID, proto: h.Proto}
 	buf := s.reasm[key]
-	now := s.Ep.Kernel().Now()
 	if buf == nil {
 		buf = s.allocSlot(now)
 		if buf == nil {
@@ -309,6 +310,22 @@ func (s *Stack) inputFragment(h Header, f link.Frame) (Dgram, bool, error) {
 	return Dgram{}, false, nil
 }
 
+// sweepReasm evicts reassemblies whose timers expired, freeing their
+// slots. Under sustained fragment loss incomplete datagrams never finish,
+// and without proactive eviction they pin every slot until a new arrival
+// happens to need one — with eviction the slots cycle and fresh datagrams
+// keep completing.
+func (s *Stack) sweepReasm(now sim.Time) {
+	for k, sl := range s.reasm {
+		if now > sl.deadline {
+			delete(s.reasm, k)
+			s.ReasmTimeouts++
+			sl.have = nil
+			sl.inUse = false
+		}
+	}
+}
+
 func (s *Stack) allocSlot(now sim.Time) *reasmBuf {
 	for _, sl := range s.slots {
 		if !sl.inUse {
@@ -316,7 +333,8 @@ func (s *Stack) allocSlot(now sim.Time) *reasmBuf {
 			return sl
 		}
 	}
-	// Reclaim expired reassemblies.
+	// Reclaim expired reassemblies (backstop; sweepReasm normally already
+	// freed them).
 	for k, sl := range s.reasm {
 		if now > sl.deadline {
 			delete(s.reasm, k)

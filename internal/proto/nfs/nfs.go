@@ -257,9 +257,13 @@ type Client struct {
 	Sock   *udp.Socket
 	Server ip.Addr
 	Port   uint16
-	// RetryUs is the retransmission interval; Retries bounds attempts.
-	RetryUs float64
-	Retries int
+	// RetryUs is the initial retransmission interval; each timeout doubles
+	// it up to MaxRetryUs (capped exponential backoff — idempotent ops
+	// make the retries safe, the cap keeps recovery prompt under sustained
+	// loss). Retries bounds attempts.
+	RetryUs    float64
+	MaxRetryUs float64
+	Retries    int
 
 	xid uint32
 	// Resent counts retransmitted requests.
@@ -268,7 +272,8 @@ type Client struct {
 
 // NewClient builds a client for server addr:port over sock.
 func NewClient(sock *udp.Socket, server ip.Addr, port uint16) *Client {
-	return &Client{Sock: sock, Server: server, Port: port, RetryUs: 100_000, Retries: 5}
+	return &Client{Sock: sock, Server: server, Port: port,
+		RetryUs: 100_000, MaxRetryUs: 800_000, Retries: 5}
 }
 
 // call performs one RPC.
@@ -283,6 +288,7 @@ func (c *Client) call(p *aegis.Process, proc uint32, fh Handle, a, b uint32, pay
 	req = append(req, payload...)
 
 	k := c.Sock.St.Ep.Kernel()
+	interval := c.RetryUs
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			c.Resent++
@@ -290,7 +296,11 @@ func (c *Client) call(p *aegis.Process, proc uint32, fh Handle, a, b uint32, pay
 		if err := c.Sock.SendBytes(c.Server, c.Port, req); err != nil {
 			return 0, nil, err
 		}
-		deadline := k.Now() + k.Prof.Cycles(c.RetryUs)
+		deadline := k.Now() + k.Prof.Cycles(interval)
+		interval *= 2
+		if c.MaxRetryUs > 0 && interval > c.MaxRetryUs {
+			interval = c.MaxRetryUs
+		}
 		for {
 			m, ok, err := c.Sock.RecvUntil(false, deadline)
 			if err != nil {

@@ -61,8 +61,14 @@ type Config struct {
 	// AckDelayUs is the delayed-acknowledgment timer (piggybacking
 	// window); AckEveryBytes forces an immediate ACK once this much data
 	// is unacknowledged.
-	AckDelayUs    float64
-	RTOUs         float64 // retransmission timeout (fixed, doubled per rtx)
+	AckDelayUs float64
+	// RTOUs is the initial retransmission timeout, used until the first
+	// round-trip sample. The timer then adapts (srtt + 4*rttvar, RFC 6298
+	// style) within [MinRTOUs, MaxRTOUs], doubling per retransmission;
+	// Karn's rule keeps retransmitted segments out of the estimator.
+	RTOUs         float64
+	MinRTOUs      float64
+	MaxRTOUs      float64
 	MaxRetransmit int
 }
 
@@ -71,7 +77,8 @@ func DefaultConfig() Config {
 	return Config{
 		Mode: ModeUser, Polling: true, Checksum: true,
 		MSS: 3072, Window: 8192,
-		AckDelayUs: 500, RTOUs: 200_000, MaxRetransmit: 8,
+		AckDelayUs: 500, RTOUs: 200_000, MinRTOUs: 2_000, MaxRTOUs: 1_600_000,
+		MaxRetransmit: 8,
 	}
 }
 
@@ -99,12 +106,14 @@ type rseg struct {
 
 // rtxSeg is an unacknowledged segment held for retransmission.
 type rtxSeg struct {
-	seq      uint32
-	flags    Flags
-	data     []byte
-	deadline sim.Time
-	rto      sim.Time
-	tries    int
+	seq       uint32
+	flags     Flags
+	data      []byte
+	deadline  sim.Time
+	rto       sim.Time
+	sentAt    sim.Time
+	rexmitted bool // Karn's rule: never sample RTT off a retransmitted segment
+	tries     int
 }
 
 // Conn is a TCP connection endpoint.
@@ -121,6 +130,7 @@ type Conn struct {
 	iss, irs       uint32
 	sndUna, sndNxt uint32
 	sndWnd         int
+	sndWl1, sndWl2 uint32 // seq/ack of the last segment that updated sndWnd
 	rcvNxt         uint32
 	finSeq         uint32 // our FIN's sequence number
 	peerClosed     bool
@@ -140,10 +150,16 @@ type Conn struct {
 	slowQueued int // slow-path segments pending, handler must keep order
 
 	// Timers (absolute deadlines; 0 = unarmed).
-	rtxq        []rtxSeg
-	ackDue      bool
-	ackDeadline sim.Time
-	unacked     int
+	rtxq            []rtxSeg
+	ackDue          bool
+	ackDeadline     sim.Time
+	unacked         int
+	persistDeadline sim.Time // zero-window probe timer
+	persistRTO      sim.Time
+
+	// Round-trip estimation (RFC 6298 shape): rto == 0 means "no sample
+	// yet, use Cfg.RTOUs".
+	srtt, rttvar, rto sim.Time
 
 	fast *fastPath // installed handler, if any
 
@@ -158,6 +174,15 @@ type Conn struct {
 
 // State reports the connection state.
 func (c *Conn) State() State { return c.state }
+
+// DebugString summarizes the PCB for fault-injection diagnostics.
+func (c *Conn) DebugString() string {
+	return fmt.Sprintf("state=%v sndUna=%d sndNxt=%d rcvNxt=%d sndWnd=%d rtxq=%d "+
+		"ackDue=%v unacked=%d slowQueued=%d hr=[%d,%d) segsIn=%d segsOut=%d rexmt=%d err=%v",
+		c.state, c.sndUna-c.iss, c.sndNxt-c.iss, c.rcvNxt-c.irs, c.sndWnd, len(c.rtxq),
+		c.ackDue, c.unacked, c.slowQueued, c.hrHead, c.hrTail, c.SegsIn, c.SegsOut,
+		c.Retransmits, c.err)
+}
 
 // newConn builds the PCB.
 func newConn(st *ip.Stack, cfg Config, localPort uint16) *Conn {
@@ -272,10 +297,10 @@ func (c *Conn) sendSegment(flags Flags, seq uint32, payloadAddr *uint32, n int, 
 	c.ackDeadline = 0
 	c.unacked = 0
 	if addToRtx {
+		rto := c.currentRTO()
 		c.rtxq = append(c.rtxq, rtxSeg{
 			seq: seq, flags: flags, data: append([]byte(nil), data...),
-			deadline: c.now() + c.kern().Prof.Cycles(c.Cfg.RTOUs),
-			rto:      c.kern().Prof.Cycles(c.Cfg.RTOUs),
+			deadline: c.now() + rto, rto: rto, sentAt: c.now(),
 		})
 	}
 	if err := c.St.Send(ip.ProtoTCP, c.remoteIP, buf); err != nil {
@@ -318,6 +343,12 @@ func (c *Conn) Write(addr uint32, n int) error {
 		}
 		avail := window - inFlight
 		if avail <= 0 {
+			if c.sndWnd == 0 && c.sndUna == c.sndNxt && c.persistDeadline == 0 {
+				// Zero window and nothing in flight: no retransmission will
+				// ever fire, so only a persist probe can reopen the window.
+				c.persistRTO = c.currentRTO()
+				c.persistDeadline = c.now() + c.persistRTO
+			}
 			c.waitEvent(0)
 			continue
 		}
@@ -385,6 +416,7 @@ func (c *Conn) nextDeadline(user sim.Time) sim.Time {
 	if c.ackDue {
 		merge(c.ackDeadline)
 	}
+	merge(c.persistDeadline)
 	return d
 }
 
@@ -410,6 +442,19 @@ func (c *Conn) checkTimers() {
 	if c.ackDue && c.ackDeadline != 0 && now >= c.ackDeadline {
 		c.sendAck()
 	}
+	if c.persistDeadline != 0 && now >= c.persistDeadline {
+		if c.sndWnd == 0 && c.sndUna == c.sndNxt &&
+			(c.state == Established || c.state == CloseWait) {
+			c.sendWindowProbe()
+			c.persistRTO *= 2
+			if m := c.maxRTO(); c.persistRTO > m {
+				c.persistRTO = m
+			}
+			c.persistDeadline = now + c.persistRTO
+		} else {
+			c.persistDeadline, c.persistRTO = 0, 0
+		}
+	}
 	for i := 0; i < len(c.rtxq); i++ {
 		r := &c.rtxq[i]
 		if seqLE(r.seq+uint32(len(r.data)), c.sndUna) && r.flags&(SYN|FIN) == 0 ||
@@ -421,17 +466,104 @@ func (c *Conn) checkTimers() {
 		}
 		if now >= r.deadline {
 			if r.tries >= c.Cfg.MaxRetransmit {
-				c.err = fmt.Errorf("tcp: too many retransmissions of seq %d", r.seq)
-				c.state = Closed
+				c.teardown(fmt.Errorf("tcp: too many retransmissions of seq %d", r.seq))
 				return
 			}
 			r.tries++
 			c.Retransmits++
+			r.rexmitted = true
 			r.rto *= 2
+			if maxRTO := c.maxRTO(); r.rto > maxRTO {
+				r.rto = maxRTO
+			}
+			// Karn: the backed-off timeout also governs segments sent until
+			// a fresh sample from an unretransmitted segment arrives.
+			c.rto = r.rto
 			r.deadline = now + r.rto
 			c.retransmit(r)
 		}
 	}
+}
+
+// currentRTO is the timeout for a freshly sent segment.
+func (c *Conn) currentRTO() sim.Time {
+	if c.rto != 0 {
+		return c.rto
+	}
+	return c.kern().Prof.Cycles(c.Cfg.RTOUs)
+}
+
+func (c *Conn) minRTO() sim.Time {
+	us := c.Cfg.MinRTOUs
+	if us <= 0 {
+		us = 2_000
+	}
+	return c.kern().Prof.Cycles(us)
+}
+
+func (c *Conn) maxRTO() sim.Time {
+	us := c.Cfg.MaxRTOUs
+	if us <= 0 {
+		us = 8 * c.Cfg.RTOUs
+	}
+	return c.kern().Prof.Cycles(us)
+}
+
+// sampleRTT feeds the estimator from segments this ACK newly covers,
+// skipping retransmitted ones (Karn's rule: an ACK for a retransmitted
+// segment is ambiguous about which transmission it acknowledges).
+func (c *Conn) sampleRTT(ack uint32) {
+	sample := sim.Time(-1)
+	for i := range c.rtxq {
+		r := &c.rtxq[i]
+		if r.rexmitted {
+			continue
+		}
+		end := r.seq + uint32(len(r.data))
+		if r.flags&(SYN|FIN) != 0 {
+			end++
+		}
+		if !seqLE(end, ack) {
+			continue
+		}
+		if rtt := c.now() - r.sentAt; rtt > sample {
+			sample = rtt
+		}
+	}
+	if sample < 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	rto := c.srtt + 4*c.rttvar
+	if minv := c.minRTO(); rto < minv {
+		rto = minv
+	}
+	if maxv := c.maxRTO(); rto > maxv {
+		rto = maxv
+	}
+	c.rto = rto
+}
+
+// teardown closes the connection after an unrecoverable failure: the error
+// surfaces to every blocked caller, all timers are cleared, and the fast
+// path (which predicts only in ESTABLISHED) stops accepting segments.
+func (c *Conn) teardown(err error) {
+	c.err = err
+	c.state = Closed
+	c.rtxq = nil
+	c.ackDue = false
+	c.ackDeadline = 0
+	delete(scratchSegs, c)
 }
 
 // retransmit re-emits one segment from the queue.
@@ -520,6 +652,7 @@ func (c *Conn) input(d ip.Dgram) {
 			c.rcvNxt = h.Seq + 1
 			c.sndUna = h.Ack
 			c.sndWnd = int(h.Window)
+			c.sndWl1, c.sndWl2 = h.Seq, h.Ack
 			c.state = Established
 			c.dropAcked()
 			c.sendAck()
@@ -534,6 +667,7 @@ func (c *Conn) input(d ip.Dgram) {
 			c.rcvNxt = h.Seq + 1
 			c.sndUna, c.sndNxt = c.iss, c.iss
 			c.sndWnd = int(h.Window)
+			c.sndWl1, c.sndWl2 = h.Seq, h.Ack
 			c.state = SynRcvd
 			c.sendSegment(SYN|ACK, c.iss, nil, 0, true)
 			c.sndNxt = c.iss + 1
@@ -544,6 +678,7 @@ func (c *Conn) input(d ip.Dgram) {
 		if h.Flags&ACK != 0 && h.Ack == c.iss+1 {
 			c.sndUna = h.Ack
 			c.sndWnd = int(h.Window)
+			c.sndWl1, c.sndWl2 = h.Seq, h.Ack
 			c.state = Established
 			c.dropAcked()
 			// The handshake ACK may carry data; fall through.
@@ -555,7 +690,7 @@ func (c *Conn) input(d ip.Dgram) {
 
 	// ESTABLISHED and later: ACK processing.
 	if h.Flags&ACK != 0 {
-		c.processAck(h.Ack, int(h.Window))
+		c.processAck(h.Seq, h.Ack, int(h.Window))
 	}
 
 	// Data acceptance: in-order only (the paper's library keeps messages
@@ -653,8 +788,9 @@ func (c *Conn) maybeAck() {
 }
 
 // processAck advances the send side.
-func (c *Conn) processAck(ack uint32, wnd int) {
+func (c *Conn) processAck(seq, ack uint32, wnd int) {
 	if seqLT(c.sndUna, ack) && seqLE(ack, c.sndNxt) {
+		c.sampleRTT(ack)
 		c.sndUna = ack
 		c.dropAcked()
 		if c.state == FinWait1 && c.sndUna == c.finSeq+1 {
@@ -667,7 +803,32 @@ func (c *Conn) processAck(ack uint32, wnd int) {
 			c.state = Closed
 		}
 	}
-	c.sndWnd = wnd
+	c.updateWindow(seq, ack, wnd)
+}
+
+// updateWindow applies the RFC 793 window-update guard (SND.WL1/WL2):
+// only a segment at least as recent as the last one that changed the
+// window may change it again. Without the guard a reordered stale ACK
+// can regress sndWnd — in the worst case to zero with an empty
+// retransmission queue, which deadlocks the sender because a pure
+// window-opening ACK is never retransmitted.
+func (c *Conn) updateWindow(seq, ack uint32, wnd int) {
+	if seqLT(c.sndWl1, seq) || (c.sndWl1 == seq && seqLE(c.sndWl2, ack)) {
+		c.sndWnd = wnd
+		c.sndWl1, c.sndWl2 = seq, ack
+		if wnd > 0 {
+			c.persistDeadline, c.persistRTO = 0, 0
+		}
+	}
+}
+
+// sendWindowProbe emits one byte of already-acknowledged data (seq
+// SND.UNA-1). The peer rejects it as out of order and answers with a
+// duplicate ACK carrying its current window, breaking a zero-window
+// deadlock whose window-opening ACK was lost or discarded as stale.
+func (c *Conn) sendWindowProbe() {
+	a := c.scratch(1)
+	c.sendSegment(ACK, c.sndUna-1, &a, 1, false)
 }
 
 // dropAcked removes fully acknowledged segments from the rtx queue.

@@ -226,9 +226,12 @@ func TestCorruptionDetectedByChecksum(t *testing.T) {
 	corrupted := 0
 	cli, srv := transferTest(t, ModeUser, 30_000, 7, func(w *world) {
 		w.sw.Inject = func(pkt *netdev.Packet) bool {
-			// Flip a payload byte in one large data segment.
+			// Flip a payload byte in one large data segment, refreshing
+			// the FCS so the damage sneaks past the board's frame check
+			// and only the end-to-end checksum can catch it.
 			if corrupted == 0 && len(pkt.Data) > 2000 {
 				pkt.Data[1500] ^= 0xff
+				pkt.FCS = netdev.FrameCheck(pkt.Data)
 				corrupted++
 			}
 			return true
@@ -251,6 +254,7 @@ func TestCorruptionDetectedByASHFastPath(t *testing.T) {
 		w.sw.Inject = func(pkt *netdev.Packet) bool {
 			if corrupted == 0 && len(pkt.Data) > 2000 {
 				pkt.Data[1500] ^= 0xff
+				pkt.FCS = netdev.FrameCheck(pkt.Data) // sneak past the board CRC
 				corrupted++
 			}
 			return true

@@ -64,9 +64,11 @@ func installFastPath(c *Conn) *fastPath {
 	case ModeASH:
 		f.fa = sys.NewFuncASH(c.owner(), "tcp-fastpath", true, f.handle)
 		c.St.Ep.InstallHandler(f.fa)
+		f.fa.OnTrip(func() { c.St.Ep.InstallHandler(nil) })
 	case ModeASHUnsafe:
 		f.fa = sys.NewFuncASH(c.owner(), "tcp-fastpath", false, f.handle)
 		c.St.Ep.InstallHandler(f.fa)
+		f.fa.OnTrip(func() { c.St.Ep.InstallHandler(nil) })
 	case ModeUpcall:
 		f.up = aegis.NewUpcall(c.owner(), func(mc *aegis.MsgCtx) aegis.Disposition {
 			return f.handle(sys.UpcallCtx(c.owner(), mc))
@@ -115,12 +117,19 @@ func (f *fastPath) handle(ctx *core.Ctx) aegis.Disposition {
 	totalLen := int(binary.BigEndian.Uint16(data[ipOff+2:]))
 	ihl := int(data[ipOff]&0xf) * 4
 	tcpOff := ipOff + ihl
+	// The handler runs on raw board-accepted bytes, so a corrupted IHL or
+	// total length that slipped past the link CRC must not drive its
+	// indexing: anything out of range defers to the library, whose full
+	// input path validates the header checksums.
+	if ihl < ip.HeaderLen || tcpOff+HeaderLen > len(data) {
+		return f.abort(false)
+	}
 	h, dataOff, err := Parse(data[tcpOff:])
 	if err != nil || h.DstPort != c.localPort || h.SrcPort != c.remotePort {
 		return f.abort(false)
 	}
 	plen := totalLen - ihl - dataOff
-	if plen < 0 {
+	if plen < 0 || tcpOff+dataOff+plen > len(data) {
 		return f.abort(false)
 	}
 	isData := plen > 0
@@ -220,7 +229,7 @@ func (f *fastPath) handle(ctx *core.Ctx) aegis.Disposition {
 	if seqLT(c.sndUna, h.Ack) && seqLE(h.Ack, c.sndNxt) {
 		c.sndUna = h.Ack
 	}
-	c.sndWnd = int(h.Window)
+	c.updateWindow(h.Seq, h.Ack, int(h.Window))
 
 	// Acknowledgment policy: force an ACK from the handler once 2 MSS of
 	// data is unacknowledged (keeps the sender's window moving even when

@@ -1,0 +1,80 @@
+package tcp
+
+import (
+	"testing"
+
+	"ashs/internal/aegis"
+	"ashs/internal/netdev"
+)
+
+// TestMaxRetransmitTearsDownConnection is the regression test for the
+// retransmission-exhaustion path: when a segment is retransmitted
+// MaxRetransmit times without an acknowledgment, the connection must be
+// torn down — the error surfaces to blocked callers, the state moves to
+// Closed, the timer queue drains, and later operations fail fast.
+func TestMaxRetransmitTearsDownConnection(t *testing.T) {
+	w := newWorld()
+	// Black-hole every data segment after the handshake: small control
+	// segments (SYN, ACK, FIN; ~60 bytes with headers) still pass, so the
+	// connection establishes and then the client's data drowns.
+	dropped := 0
+	w.sw.Inject = func(pkt *netdev.Packet) bool {
+		if len(pkt.Data) > 200 {
+			dropped++
+			return false
+		}
+		return true
+	}
+
+	var cli *Conn
+	var writeErr, retryWriteErr, retryReadErr error
+	w.k2.Spawn("server", func(p *aegis.Process) {
+		st := w.stackFor(p, w.a2, 7, w.ip2)
+		if _, err := Accept(st, w.cfg(ModeUser, 2), 80); err != nil {
+			t.Errorf("accept: %v", err)
+		}
+		// The server never reads; the client's data never arrives anyway.
+	})
+	w.k1.Spawn("client", func(p *aegis.Process) {
+		st := w.stackFor(p, w.a1, 7, w.ip1)
+		cfg := w.cfg(ModeUser, 1)
+		cfg.RTOUs = 5_000
+		cfg.MaxRetransmit = 3
+		conn, err := Connect(st, cfg, 1234, w.ip2, 80)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		cli = conn
+		writeErr = conn.WriteBytes(make([]byte, 1000))
+		// Operations after teardown must fail fast, not hang.
+		retryWriteErr = conn.Write(0, 0)
+		_, retryReadErr = conn.Read(0, 1)
+	})
+	w.eng.Run()
+
+	if dropped == 0 {
+		t.Fatal("injector never dropped a data segment")
+	}
+	if cli == nil {
+		t.Fatal("connection never established")
+	}
+	if writeErr == nil {
+		t.Fatal("write on a black-holed connection returned nil")
+	}
+	if cli.State() != Closed {
+		t.Fatalf("state = %v after retransmission exhaustion, want CLOSED", cli.State())
+	}
+	if len(cli.rtxq) != 0 {
+		t.Fatalf("%d segments still queued for retransmission after teardown", len(cli.rtxq))
+	}
+	if cli.Retransmits < 3 {
+		t.Fatalf("Retransmits = %d, want >= MaxRetransmit (3)", cli.Retransmits)
+	}
+	if retryWriteErr == nil {
+		t.Fatal("Write after teardown succeeded")
+	}
+	if retryReadErr == nil {
+		t.Fatal("Read after teardown succeeded")
+	}
+}

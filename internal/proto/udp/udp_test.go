@@ -135,6 +135,7 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 	swInject := func(pkt *netdev.Packet) bool {
 		if !flipped && len(pkt.Data) > 30 {
 			pkt.Data[len(pkt.Data)-1] ^= 0xff
+			pkt.FCS = netdev.FrameCheck(pkt.Data) // sneak past the board CRC
 			flipped = true
 		}
 		return true

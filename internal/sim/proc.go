@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
 
 // Proc is a simulated thread of control: a goroutine that runs in strict
 // lock-step with the engine. Exactly one of {engine, some process} executes
@@ -35,7 +38,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 			p.dead = true
 			e.procs--
 			if r := recover(); r != nil {
-				e.panicV = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				e.panicV = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
 			}
 			p.yield <- struct{}{}
 		}()

@@ -1,0 +1,116 @@
+package vcode
+
+// Journal wraps a Memory with an undo log, giving the kernel the rollback
+// half of the paper's abort discipline: an involuntarily aborted handler
+// must leave no trace, so every store it performed is recorded with the
+// value it overwrote and can be replayed backwards. Loads pass straight
+// through.
+//
+// Stores that fail (bad address, absent page) record nothing — they never
+// modified memory, and the fault they raise is what triggers the undo.
+type Journal struct {
+	Mem Memory
+
+	// Raw, when set, gives the journal direct byte access to the
+	// underlying memory so trusted bulk paths (ash_copy, ash_dilp) that
+	// bypass the Memory interface can pre-image their destination ranges
+	// with PreImageRange before writing.
+	Raw func(addr uint32, n int) ([]byte, error)
+
+	entries []journalEntry
+}
+
+// journalEntry is one overwritten region: old holds the prior bytes and
+// its length selects the store width on undo (1, 2, 4, or raw range).
+type journalEntry struct {
+	addr uint32
+	old  []byte
+	raw  bool
+}
+
+// NewJournal wraps mem.
+func NewJournal(mem Memory) *Journal {
+	return &Journal{Mem: mem}
+}
+
+// Reset discards the log; call it at handler entry so Undo rolls back to
+// exactly the pre-invocation state.
+func (j *Journal) Reset() { j.entries = j.entries[:0] }
+
+// Undo replays the log backwards, restoring every journaled region to its
+// pre-invocation bytes, then clears the log.
+func (j *Journal) Undo() {
+	for i := len(j.entries) - 1; i >= 0; i-- {
+		e := j.entries[i]
+		switch {
+		case e.raw:
+			if j.Raw != nil {
+				if dst, err := j.Raw(e.addr, len(e.old)); err == nil {
+					copy(dst, e.old)
+				}
+			}
+		case len(e.old) == 4:
+			v := uint32(e.old[0]) | uint32(e.old[1])<<8 | uint32(e.old[2])<<16 | uint32(e.old[3])<<24
+			_ = j.Mem.Store32(e.addr, v)
+		case len(e.old) == 2:
+			_ = j.Mem.Store16(e.addr, uint16(e.old[0])|uint16(e.old[1])<<8)
+		default:
+			_ = j.Mem.Store8(e.addr, e.old[0])
+		}
+	}
+	j.entries = j.entries[:0]
+}
+
+// PreImageRange records the current contents of [addr, addr+n) so a later
+// Undo restores them. Trusted copy/DILP paths call it once per transfer —
+// the journal's analogue of their aggregated access checks.
+func (j *Journal) PreImageRange(addr uint32, n int) {
+	if n <= 0 || j.Raw == nil {
+		return
+	}
+	src, err := j.Raw(addr, n)
+	if err != nil {
+		return
+	}
+	j.entries = append(j.entries, journalEntry{
+		addr: addr, old: append([]byte(nil), src...), raw: true,
+	})
+}
+
+// Load32 implements Memory.
+func (j *Journal) Load32(addr uint32) (uint32, error) { return j.Mem.Load32(addr) }
+
+// Load16 implements Memory.
+func (j *Journal) Load16(addr uint32) (uint16, error) { return j.Mem.Load16(addr) }
+
+// Load8 implements Memory.
+func (j *Journal) Load8(addr uint32) (byte, error) { return j.Mem.Load8(addr) }
+
+// Store32 implements Memory, journaling the overwritten word.
+func (j *Journal) Store32(addr uint32, v uint32) error {
+	if old, err := j.Mem.Load32(addr); err == nil {
+		j.entries = append(j.entries, journalEntry{
+			addr: addr,
+			old:  []byte{byte(old), byte(old >> 8), byte(old >> 16), byte(old >> 24)},
+		})
+	}
+	return j.Mem.Store32(addr, v)
+}
+
+// Store16 implements Memory, journaling the overwritten halfword.
+func (j *Journal) Store16(addr uint32, v uint16) error {
+	if old, err := j.Mem.Load16(addr); err == nil {
+		j.entries = append(j.entries, journalEntry{
+			addr: addr, old: []byte{byte(old), byte(old >> 8)},
+		})
+	}
+	return j.Mem.Store16(addr, v)
+}
+
+// Store8 implements Memory, journaling the overwritten byte.
+func (j *Journal) Store8(addr uint32, v byte) error {
+	if old, err := j.Mem.Load8(addr); err == nil {
+		j.entries = append(j.entries, journalEntry{addr: addr, old: []byte{old}})
+	}
+	return j.Mem.Store8(addr, v)
+}
