@@ -36,6 +36,7 @@ import (
 	"ashs/internal/dpf"
 	"ashs/internal/fault"
 	"ashs/internal/mach"
+	"ashs/internal/obs"
 	"ashs/internal/pipe"
 	"ashs/internal/proto/arp"
 	"ashs/internal/proto/http"
@@ -115,6 +116,24 @@ const (
 func NewFaultPlane(seed int64, sched FaultSchedule) *FaultPlane {
 	return fault.New(seed, sched)
 }
+
+// Observability:
+type (
+	// ObsPlane is the tracing + metrics plane of internal/obs. A nil
+	// plane is valid and disabled at zero cost.
+	ObsPlane = obs.Plane
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+)
+
+// NewObsPlane builds an enabled observability plane for the standard
+// 40-MHz DECstation profile.
+func NewObsPlane() *ObsPlane { return obs.New(float64(mach.DS5000_240().MHz)) }
+
+// WriteTrace renders planes as one Chrome trace_event JSON document
+// (open in Perfetto or chrome://tracing). Byte-identical across runs of
+// the same deterministic workload.
+func WriteTrace(planes ...*ObsPlane) []byte { return obs.WriteTrace(planes...) }
 
 // CannedSchedules returns the standard chaos-soak fault schedules.
 func CannedSchedules() []FaultSchedule { return fault.Canned() }
@@ -222,6 +241,11 @@ func NewEthernetWorld() *World {
 		IP1: tb.IP1, IP2: tb.IP2}
 }
 
+// AttachObs wires an observability plane into the world's switch and
+// both kernels. Tracing charges no simulated cycles, so attaching a
+// plane never changes simulated results.
+func (w *World) AttachObs(pl *ObsPlane) { w.tb.AttachObs(pl) }
+
 // AttachFaultPlane hooks a fault plane into every injection point of the
 // world: the wire, both network interfaces, and both ASH systems.
 func (w *World) AttachFaultPlane(p *FaultPlane) {
@@ -236,6 +260,10 @@ func (w *World) AttachFaultPlane(p *FaultPlane) {
 	}
 	p.AttachSystem(w.ASH1)
 	p.AttachSystem(w.ASH2)
+	if w.tb.Obs != nil {
+		// Mirror injected-fault counts into the metrics registry.
+		p.Observe(w.tb.Obs)
+	}
 }
 
 // Run drives the simulation until no work remains.

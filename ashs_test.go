@@ -88,7 +88,7 @@ func TestTCPOverFacade(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		buf := p.AS.Alloc(64, "rx")
+		buf := p.AS.MustAlloc(64, "rx")
 		if err := conn.ReadFull(buf.Base, len(payload)); err != nil {
 			t.Error(err)
 			return

@@ -27,6 +27,22 @@ go test -race ./...
 echo "== chaos soak (fixed-seed determinism)"
 go test -race -count=1 -run 'TestChaosSoak|TestChaosSeedDeterminism' ./internal/fault/
 
+# Observability plane: the PRNG contract and trace/metrics unit tests by
+# name, then the end-to-end determinism gate — the breakdown experiment's
+# Chrome trace JSON must be byte-identical across two full runs.
+echo "== observability plane (PRNG + trace/metrics unit tests)"
+go test -race -count=1 ./internal/obs/ ./internal/sim/
+
+echo "== breakdown trace determinism (byte-identical across runs)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/ashbench -experiment breakdown -trace "$tracedir/a.json" >/dev/null
+go run ./cmd/ashbench -experiment breakdown -trace "$tracedir/b.json" >/dev/null
+if ! cmp -s "$tracedir/a.json" "$tracedir/b.json"; then
+    echo "breakdown trace JSON differs between identical runs"
+    exit 1
+fi
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck"
     staticcheck ./...

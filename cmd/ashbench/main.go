@@ -7,9 +7,19 @@
 //	ashbench                     # everything (full workloads; ~a minute)
 //	ashbench -experiment table5  # one experiment
 //	ashbench -quick              # reduced workloads
+//	ashbench -experiment breakdown -trace out.json
 //
 // Experiments: table1, fig3, table2, table3, table4, table5, table6,
-// fig4, sandbox, dpf, ablation, lint, chaos.
+// fig4, sandbox, dpf, ablation, lint, chaos, breakdown.
+//
+// The breakdown experiment (not a paper table) re-runs the Table I/V/VI
+// latency workloads with the observability plane attached and prints a
+// per-phase cycle decomposition of each measurement window. -trace works
+// with every experiment: it attaches a tracing plane to each testbed
+// built and writes all of them as one Chrome trace_event JSON file (open
+// in Perfetto or chrome://tracing). Tracing charges no simulated cycles,
+// so traced results are identical to untraced ones, and the file is
+// byte-identical across runs of the same workload (CI asserts this).
 //
 // The chaos experiment is not from the paper: it soaks the messaging path
 // under the deterministic fault plane (internal/fault) — wire loss,
@@ -26,14 +36,25 @@ import (
 	"time"
 
 	"ashs/internal/bench"
+	"ashs/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, lint, chaos, all")
+		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, lint, chaos, breakdown, all")
 		quick = flag.Bool("quick", false, "reduced workload sizes (faster, slightly noisier throughput)")
+		trace = flag.String("trace", "", "write a Chrome trace_event JSON file covering every testbed built")
 	)
 	flag.Parse()
+
+	var planes []*obs.Plane
+	if *trace != "" {
+		bench.Observe = func(tb *bench.Testbed) {
+			pl := obs.New(float64(tb.Prof.MHz))
+			tb.AttachObs(pl)
+			planes = append(planes, pl)
+		}
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -115,9 +136,23 @@ func main() {
 		}
 		fmt.Print(bench.RenderChaos(bench.RunChaos(p)))
 	})
+	run("breakdown", func() {
+		fmt.Print(bench.RunBreakdown(10).Render())
+	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *trace != "" {
+		if err := os.WriteFile(*trace, obs.WriteTrace(planes...), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		n := 0
+		for _, pl := range planes {
+			n += pl.Events()
+		}
+		fmt.Printf("wrote %s: %d events across %d testbeds\n", *trace, n, len(planes))
 	}
 }

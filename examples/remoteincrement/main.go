@@ -59,7 +59,7 @@ func measure(nprocs int, useASH bool) float64 {
 			if err != nil {
 				panic(err)
 			}
-			counter := p.AS.Alloc(64, "counter")
+			counter := p.AS.MustAlloc(64, "counter")
 			for i := 0; i < warmup+iters; i++ {
 				f := ep.Recv(false)
 				v, _ := p.AS.Load32(counter.Base)

@@ -44,11 +44,26 @@ func (k *Kernel) NewAddrSpace(owner string) *AddrSpace {
 
 // Alloc adds a fresh segment of n bytes. All pages start resident and
 // pinned (the paper: "we require that the application pin all pages that
-// the ASH may reference").
-func (as *AddrSpace) Alloc(n int, name string) Segment {
-	base := as.k.AllocPhys(n, as.owner+"/"+name)
+// the ASH may reference"). Physical-memory exhaustion returns an error:
+// a guest over-asking must not take the simulation down with it.
+func (as *AddrSpace) Alloc(n int, name string) (Segment, error) {
+	base, err := as.k.AllocPhys(n, as.owner+"/"+name)
+	if err != nil {
+		return Segment{}, err
+	}
 	seg := Segment{Base: base, Len: uint32(n), Name: name}
 	as.segs = append(as.segs, seg)
+	return seg, nil
+}
+
+// MustAlloc is Alloc for setup code whose sizes are fixed at build time;
+// it panics on exhaustion, which there indicates a misconfigured testbed
+// rather than guest misbehavior.
+func (as *AddrSpace) MustAlloc(n int, name string) Segment {
+	seg, err := as.Alloc(n, name)
+	if err != nil {
+		panic(err)
+	}
 	return seg
 }
 

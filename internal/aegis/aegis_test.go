@@ -61,7 +61,7 @@ func TestAddrSpaceProtection(t *testing.T) {
 	k := newHost(eng, "h")
 	var seg Segment
 	k.Spawn("app", func(p *Process) {
-		seg = p.AS.Alloc(4096, "data")
+		seg = p.AS.MustAlloc(4096, "data")
 		if err := p.AS.Store32(seg.Base+8, 42); err != nil {
 			t.Error(err)
 		}
@@ -81,7 +81,7 @@ func TestAddrSpaceResidency(t *testing.T) {
 	eng := sim.NewEngine()
 	k := newHost(eng, "h")
 	k.Spawn("app", func(p *Process) {
-		seg := p.AS.Alloc(2*PageSize, "data")
+		seg := p.AS.MustAlloc(2*PageSize, "data")
 		p.AS.Unpin(seg.Base + PageSize)
 		if _, err := p.AS.Load32(seg.Base); err != nil {
 			t.Error("resident page faulted")

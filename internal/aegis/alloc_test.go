@@ -1,0 +1,72 @@
+package aegis
+
+import (
+	"strings"
+	"testing"
+
+	"ashs/internal/mach"
+	"ashs/internal/netdev"
+	"ashs/internal/sim"
+)
+
+// Regression: a guest asking for more physical memory than the host has
+// must get an error back, not crash the whole simulation (AllocPhys and
+// AddrSpace.Alloc used to panic on exhaustion).
+func TestAllocExhaustionSurfacesError(t *testing.T) {
+	eng := sim.NewEngine()
+	k := newHost(eng, "h")
+	ran := false
+	k.Spawn("greedy", func(p *Process) {
+		ran = true
+		// Far more than HostMemSize: must fail, not panic.
+		if _, err := p.AS.Alloc(HostMemSize*2, "huge"); err == nil {
+			t.Error("Alloc of 2x physical memory succeeded")
+		} else if !strings.Contains(err.Error(), "out of physical memory") {
+			t.Errorf("unexpected error: %v", err)
+		}
+		// The kernel survives and keeps serving reasonable requests.
+		seg, err := p.AS.Alloc(4096, "small")
+		if err != nil {
+			t.Errorf("small Alloc after failed big one: %v", err)
+		}
+		b := p.AS.MustBytes(seg.Base, 16)
+		b[0] = 0xAB
+		p.Compute(100)
+	})
+	eng.Run()
+	if !ran {
+		t.Fatal("guest never ran")
+	}
+}
+
+// Exhaustion must also surface through the device syscall layer: binding
+// a VC with oversized DMA buffers returns an error and leaves the
+// interface usable.
+func TestBindVCExhaustionSurfacesError(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := netdev.NewSwitch(eng, mach.DS5000_240(), netdev.AN2Config())
+	k := newHost(eng, "h")
+	an2 := NewAN2(k, sw)
+	k.Spawn("app", func(p *Process) {
+		if _, err := an2.BindVC(p, 5, 4, HostMemSize+1); err == nil {
+			t.Error("BindVC with oversized buffers succeeded")
+		}
+		// A sane binding still works afterwards.
+		if _, err := an2.BindVC(p, 6, 2, 2048); err != nil {
+			t.Errorf("sane BindVC after failed one: %v", err)
+		}
+	})
+	eng.Run()
+}
+
+// Kernel-memory bindings (p == nil) go through AllocPhys directly and
+// must fail the same way.
+func TestKernelBindVCExhaustionSurfacesError(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := netdev.NewSwitch(eng, mach.DS5000_240(), netdev.AN2Config())
+	k := newHost(eng, "h")
+	an2 := NewAN2(k, sw)
+	if _, err := an2.BindVC(nil, 7, 1, HostMemSize+1); err == nil {
+		t.Fatal("kernel BindVC with oversized buffer succeeded")
+	}
+}

@@ -232,9 +232,16 @@ func (a *AN2If) BindVC(p *Process, vc, nbufs, bufSize int) (*VCBinding, error) {
 	for i := 0; i < nbufs; i++ {
 		var seg Segment
 		if p != nil {
-			seg = p.AS.Alloc(bufSize, fmt.Sprintf("an2-rx-vc%d-%d", vc, i))
+			s, err := p.AS.Alloc(bufSize, fmt.Sprintf("an2-rx-vc%d-%d", vc, i))
+			if err != nil {
+				return nil, err
+			}
+			seg = s
 		} else {
-			base := a.K.AllocPhys(bufSize, fmt.Sprintf("an2-krx-vc%d-%d", vc, i))
+			base, err := a.K.AllocPhys(bufSize, fmt.Sprintf("an2-krx-vc%d-%d", vc, i))
+			if err != nil {
+				return nil, err
+			}
 			seg = Segment{Base: base, Len: uint32(bufSize)}
 		}
 		b.bufs = append(b.bufs, seg)
@@ -311,22 +318,30 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 	defer func() { a.K.kernBusyUntil = mc.When() }()
 
 	prof := a.K.Prof
+	o := a.K.Obs
 	switch {
 	case b.InKernel:
 		// Hardwired kernel endpoint: polled driver loop.
 		mc.Charge(sim.Time(prof.KernelPollCycles + prof.DeviceRxService))
+		o.Span(a.K.Name, "device", "device", "an2 rx poll", mc.t0, mc.Cost())
+		s0 := mc.When()
 		b.InKernelRx(mc)
+		o.Span(a.K.Name, "device", "ash", "in-kernel rx", s0, mc.When()-s0)
 		mc.commitSends()
 		b.FreeBuf(bufIdx)
 		return
 	default:
 		mc.Charge(sim.Time(prof.InterruptCycles + prof.DeviceRxService + prof.DemuxVCCycles))
+		o.Span(a.K.Name, "device", "device", "an2 rx demux", mc.t0, mc.Cost())
+		o.Inc("aegis/" + a.K.Name + "/interrupts")
 	}
 
 	// "ASHs are invoked directly from the AN2 device driver, just after it
 	// performs a software cache flush of the message location."
 	if b.Handler != nil {
+		s0 := mc.When()
 		mc.Charge(sim.Time(prof.ASHDispatch))
+		o.Span(a.K.Name, "device", "kernel", "ash dispatch", s0, mc.When()-s0)
 		if b.Handler.HandleMsg(mc) == DispConsumed {
 			mc.commitSends()
 			b.FreeBuf(bufIdx)
@@ -349,7 +364,9 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 // wakes a blocked owner (charging the wake/schedule path).
 func (a *AN2If) deliverToUser(b *VCBinding, mc *MsgCtx) {
 	prof := a.K.Prof
+	s0 := mc.When()
 	mc.Charge(sim.Time(prof.RingUpdateCycles))
+	a.K.Obs.Span(a.K.Name, "device", "kernel", "ring deliver", s0, mc.When()-s0)
 	wakeExtra := sim.Time(prof.SchedDecision)
 	a.K.Eng.ScheduleAt(mc.When(), func() {
 		b.Ring.push(mc.Entry, wakeExtra)

@@ -68,7 +68,13 @@ func NewEthernet(k *Kernel, sw *netdev.Switch) *EthernetIf {
 	}
 	bufSize := 2 * (sw.Cfg.MaxFrame + StripeChunk)
 	for i := 0; i < EthRxBuffers; i++ {
-		base := k.AllocPhys(bufSize, fmt.Sprintf("eth-rx-%d", i))
+		// Boot-time device pool on a fresh host: exhaustion here is a
+		// misconfigured testbed, not guest misbehavior, so a panic is the
+		// right failure mode.
+		base, err := k.AllocPhys(bufSize, fmt.Sprintf("eth-rx-%d", i))
+		if err != nil {
+			panic(err)
+		}
 		e.bufs = append(e.bufs, Segment{Base: base, Len: uint32(bufSize)})
 		e.freeBufs = append(e.freeBufs, i)
 	}
@@ -184,10 +190,15 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 		t0:    e.K.kernStart(),
 	}
 	defer func() { e.K.kernBusyUntil = mc.When() }()
+	o := e.K.Obs
 	mc.Charge(sim.Time(prof.InterruptCycles+prof.DeviceRxService) + demuxCycles)
+	o.Span(e.K.Name, "device", "device", "eth rx demux", mc.t0, mc.Cost())
+	o.Inc("aegis/" + e.K.Name + "/interrupts")
 
 	if b.Handler != nil {
+		s0 := mc.When()
 		mc.Charge(sim.Time(prof.ASHDispatch))
+		o.Span(e.K.Name, "device", "kernel", "ash dispatch", s0, mc.When()-s0)
 		if b.Handler.HandleMsg(mc) == DispConsumed {
 			mc.commitSends()
 			e.freeBufs = append(e.freeBufs, bufIdx)
@@ -203,7 +214,9 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 		}
 		mc.abortSends()
 	}
+	s0 := mc.When()
 	mc.Charge(sim.Time(prof.RingUpdateCycles))
+	o.Span(e.K.Name, "device", "kernel", "ring deliver", s0, mc.When()-s0)
 	wakeExtra := sim.Time(prof.SchedDecision)
 	e.K.Eng.ScheduleAt(mc.When(), func() {
 		b.Ring.push(mc.Entry, wakeExtra)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ashs/internal/mach"
+	"ashs/internal/obs"
 	"ashs/internal/sim"
 	"ashs/internal/vcode"
 )
@@ -29,6 +30,10 @@ type Kernel struct {
 	Cache *mach.Cache
 	Mem   *vcode.FlatMem // host physical memory
 	Sched Scheduler
+
+	// Obs is the host's observability plane. nil (the default) disables
+	// tracing and metrics at zero cost; see internal/obs.
+	Obs *obs.Plane
 
 	current      *Process
 	lastOnCPU    *Process
@@ -69,18 +74,23 @@ func NewKernel(name string, eng *sim.Engine, prof *mach.Profile) *Kernel {
 }
 
 // AllocPhys carves n bytes (rounded to a cache line) out of physical
-// memory and returns the base address.
-func (k *Kernel) AllocPhys(n int, why string) uint32 {
+// memory and returns the base address. Exhaustion is a runtime condition
+// a guest can trigger (by asking for too much), so it surfaces as an
+// error rather than crashing the whole simulation; only a nonpositive
+// size — a programming error in the caller — still panics.
+func (k *Kernel) AllocPhys(n int, why string) (uint32, error) {
 	if n <= 0 {
 		panic("aegis: AllocPhys of nonpositive size")
 	}
 	line := uint32(k.Prof.LineBytes)
 	base := (k.brk + line - 1) &^ (line - 1)
-	if base+uint32(n) > HostMemBase+HostMemSize {
-		panic(fmt.Sprintf("aegis %s: out of physical memory allocating %d for %s", k.Name, n, why))
+	if uint64(base)+uint64(n) > HostMemBase+HostMemSize {
+		k.Obs.Inc("aegis/" + k.Name + "/alloc_failures")
+		return 0, fmt.Errorf("aegis %s: out of physical memory allocating %d for %s",
+			k.Name, n, why)
 	}
 	k.brk = base + uint32(n)
-	return base
+	return base, nil
 }
 
 // Bytes returns the raw byte view of physical range [addr, addr+n). The
@@ -123,6 +133,16 @@ func (k *Kernel) dispatch() {
 	if k.lastOnCPU != next && k.lastOnCPU != nil {
 		switchCost = sim.Time(k.Prof.CtxSwitchCycles)
 		k.CtxSwitches++
+	}
+	if o := k.Obs; o != nil {
+		// The switch cost lands on next's pendingCharge and is paid the
+		// moment it resumes, i.e. starting at this virtual instant.
+		if switchCost > 0 {
+			o.Span(k.Name, "sched", "sched", "ctx switch to "+next.Name,
+				k.Eng.Now(), switchCost)
+			o.Inc("aegis/" + k.Name + "/ctx_switches")
+		}
+		o.Instant(k.Name, "sched", "sched", "dispatch "+next.Name, k.Eng.Now())
 	}
 	k.lastOnCPU = next
 	next.pendingCharge += switchCost

@@ -184,6 +184,15 @@ func (p *Process) exit() {
 // Syscall models entry into the kernel through the full system call
 // interface plus extra cycles of in-kernel work.
 func (p *Process) Syscall(extra sim.Time) {
+	if o := p.K.Obs; o.Enabled() {
+		t0 := p.K.Now()
+		p.Compute(sim.Time(p.K.Prof.SyscallCycles) + extra)
+		// Elapsed, not charged: a preempted syscall shows its true extent
+		// on the timeline.
+		o.Span(p.K.Name, "proc "+p.Name, "kernel", "syscall", t0, p.K.Now()-t0)
+		o.Inc("aegis/" + p.K.Name + "/syscalls")
+		return
+	}
 	p.Compute(sim.Time(p.K.Prof.SyscallCycles) + extra)
 }
 

@@ -30,12 +30,18 @@ func NewUpcall(p *Process, fn func(mc *MsgCtx) Disposition) *Upcall {
 func (u *Upcall) dispatch(mc *MsgCtx) Disposition {
 	u.Invocations++
 	k := mc.K
+	s0 := mc.When()
 	mc.Charge(sim.Time(k.Prof.UpcallDispatch))
 	if k.Current() != u.Owner {
 		// Address-space switch only — the whole point of upcalls is that
 		// this is much cheaper than scheduling the process.
 		mc.Charge(sim.Time(k.Prof.AddrSpaceSwitch))
 	}
+	// The span covers only the dispatch machinery; the handler body
+	// accounts for itself (ASH-backed upcalls emit their own "ash" span,
+	// so wrapping Fn here would double-count).
+	k.Obs.Span(k.Name, "device", "upcall", "upcall "+u.Owner.Name, s0, mc.When()-s0)
+	k.Obs.Inc("aegis/" + k.Name + "/upcalls")
 	mc.userLevel = true
 	d := u.Fn(mc)
 	mc.userLevel = false

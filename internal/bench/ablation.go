@@ -88,7 +88,7 @@ func ablationRun(h ablationHandler, pol *sandbox.Policy, unsafe bool) (int64, fl
 	}
 	ash := tb.Sys2.MustDownload(owner, prog, core.Options{Unsafe: unsafe, Budget: 100000})
 
-	msgSeg := owner.AS.Alloc(4096, "synthetic-msg")
+	msgSeg := owner.AS.MustAlloc(4096, "synthetic-msg")
 	msg := tb.K2.Bytes(msgSeg.Base, 4096)
 	msgLen := crl.RecordBytes
 	if h == ablationWrite {

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ashs/internal/obs"
+	"ashs/internal/sim"
+)
+
+// The breakdown's per-phase cycles must sum exactly to each measurement
+// window, and the traced end-to-end number must equal the untraced one
+// (tracing charges no simulated cycles).
+func TestBreakdownPhasesSumToWindow(t *testing.T) {
+	const iters = 4
+	b := RunBreakdown(iters)
+	if len(b.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range b.Rows {
+		var sum sim.Time
+		for _, ph := range r.Phases {
+			sum += ph.Cycles
+		}
+		if sum != r.Total {
+			t.Errorf("%s: phase sum %d != window %d", r.Label, sum, r.Total)
+		}
+		if r.Total <= 0 {
+			t.Errorf("%s: empty window", r.Label)
+		}
+		if r.Plane.Events() == 0 {
+			t.Errorf("%s: no trace events recorded", r.Label)
+		}
+	}
+	// Traced == untraced for a representative row.
+	if got, want := b.Rows[0].MeasuredUs, inKernelAN2RT(iters, nil); got != want {
+		t.Errorf("traced in-kernel RT %v != untraced %v", got, want)
+	}
+}
+
+// Two breakdown runs of the same workload must export byte-identical
+// trace JSON — the determinism contract the CI gate enforces.
+func TestBreakdownTraceByteIdentical(t *testing.T) {
+	const iters = 3
+	a := obs.WriteTrace(RunBreakdown(iters).Planes()...)
+	b := obs.WriteTrace(RunBreakdown(iters).Planes()...)
+	if !bytes.Equal(a, b) {
+		t.Fatal("breakdown traces differ between identical runs")
+	}
+	if !strings.HasPrefix(string(a), `{"traceEvents":[`) {
+		t.Fatal("trace is not a trace_event document")
+	}
+}
+
+// Render must include every phase row and the exact-total line.
+func TestBreakdownRender(t *testing.T) {
+	b := RunBreakdown(2)
+	out := b.Render()
+	for _, want := range append(phaseOrder, "wait/other", "total", "paper") {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// The metrics dump is deterministic and covers all three metric kinds.
+func TestRenderMetricsDeterministic(t *testing.T) {
+	build := func() *obs.Registry {
+		r := obs.NewRegistry()
+		r.Counter("z").Inc()
+		r.Counter("a").Add(4)
+		r.Gauge("g").Set(9)
+		r.Histogram("lat").Observe(100)
+		return r
+	}
+	a, b := RenderMetrics(build()), RenderMetrics(build())
+	if a != b {
+		t.Fatal("metrics renders differ")
+	}
+	for _, want := range []string{"counters:", "gauges:", "histograms", "a", "z"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}

@@ -124,7 +124,7 @@ func runChaosOne(seed int64, sched fault.Schedule, p ChaosParams) ChaosResult {
 			return
 		}
 		srvConn = conn
-		buf := proc.AS.Alloc(chunk+64, "rx")
+		buf := proc.AS.MustAlloc(chunk+64, "rx")
 		for tcpSunk < p.TCPBytes {
 			n, err := conn.Read(buf.Base, chunk)
 			if err != nil {
@@ -148,7 +148,7 @@ func runChaosOne(seed int64, sched fault.Schedule, p ChaosParams) ChaosResult {
 			return
 		}
 		cliConn = conn
-		buf := proc.AS.Alloc(chunk, "tx")
+		buf := proc.AS.MustAlloc(chunk, "tx")
 		tcpStart = tb.Us(proc.K.Now())
 		for sent := 0; sent < p.TCPBytes; {
 			n := chunk

@@ -80,7 +80,7 @@ func fig4RT(n int, system string, iters int) float64 {
 			if err != nil {
 				panic(err)
 			}
-			counter := p.AS.Alloc(64, "counter")
+			counter := p.AS.MustAlloc(64, "counter")
 			for i := 0; i < warmup+iters; i++ {
 				f := ep.Recv(false) // interrupt-driven wait
 				inc := f.U32(0)

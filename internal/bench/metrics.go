@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ashs/internal/obs"
+)
+
+// RenderMetrics dumps a registry as aligned text, sorted by name within
+// each kind, so two identical runs render identically.
+func RenderMetrics(r *obs.Registry) string {
+	counters, gauges, histograms := r.Names()
+	var b strings.Builder
+	if len(counters) > 0 {
+		b.WriteString("counters:\n")
+		w := 0
+		for _, n := range counters {
+			if len(n) > w {
+				w = len(n)
+			}
+		}
+		for _, n := range counters {
+			fmt.Fprintf(&b, "  %-*s  %d\n", w, n, r.Counter(n).Value())
+		}
+	}
+	if len(gauges) > 0 {
+		b.WriteString("gauges:\n")
+		w := 0
+		for _, n := range gauges {
+			if len(n) > w {
+				w = len(n)
+			}
+		}
+		for _, n := range gauges {
+			fmt.Fprintf(&b, "  %-*s  %d\n", w, n, r.Gauge(n).Value())
+		}
+	}
+	if len(histograms) > 0 {
+		b.WriteString("histograms (cycles):\n")
+		w := 0
+		for _, n := range histograms {
+			if len(n) > w {
+				w = len(n)
+			}
+		}
+		for _, n := range histograms {
+			h := r.Histogram(n)
+			fmt.Fprintf(&b, "  %-*s  n=%d sum=%d min=%d max=%d p50<=%d p99<=%d\n",
+				w, n, h.Count(), h.Sum(), h.Min(), h.Max(),
+				h.Quantile(0.50), h.Quantile(0.99))
+		}
+	}
+	return b.String()
+}

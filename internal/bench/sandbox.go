@@ -105,7 +105,7 @@ func runWriteHandler(generic bool, mode sboxMode, nbytes int) handlerRun {
 	ash := tb.Sys2.MustDownload(owner, prog, mode.options())
 
 	// Build the message in a buffer in the owner's space.
-	msgSeg := owner.AS.Alloc(8192, "synthetic-msg")
+	msgSeg := owner.AS.MustAlloc(8192, "synthetic-msg")
 	msg := tb.K2.Bytes(msgSeg.Base, 8192)
 	var msgLen int
 	if generic {
@@ -162,7 +162,7 @@ func runRecordHandler(mode sboxMode) handlerRun {
 	prog := crl.FixedRecordWriteHandler(seg.Base+64, seg.Base)
 	ash := tb.Sys2.MustDownload(owner, prog, mode.options())
 
-	msgSeg := owner.AS.Alloc(4096, "synthetic-msg")
+	msgSeg := owner.AS.MustAlloc(4096, "synthetic-msg")
 	msg := tb.K2.Bytes(msgSeg.Base, 4096)
 	for i := 0; i < crl.RecordBytes; i++ {
 		msg[i] = byte(i)

@@ -21,16 +21,18 @@ var PaperTable1 = Table1{InKernelAN2: 112, UserAN2: 182, Ethernet: 309}
 // RunTable1 regenerates Table I.
 func RunTable1(iters int) Table1 {
 	return Table1{
-		InKernelAN2: inKernelAN2RT(iters),
-		UserAN2:     userAN2RT(iters),
-		Ethernet:    ethernetRT(iters),
+		InKernelAN2: inKernelAN2RT(iters, nil),
+		UserAN2:     userAN2RT(iters, nil),
+		Ethernet:    ethernetRT(iters, nil),
 	}
 }
 
 // inKernelAN2RT measures the best in-kernel ping-pong: polled driver
-// endpoints replying directly from the kernel.
-func inKernelAN2RT(iters int) float64 {
+// endpoints replying directly from the kernel. A non-nil o attaches an
+// observability plane and records the measurement window for Breakdown.
+func inKernelAN2RT(iters int, o *obsRun) float64 {
 	tb := NewAN2Testbed()
+	o.attach(tb)
 	const vc = 5
 	sb, err := tb.A2.BindVC(nil, vc, 8, 4096)
 	if err != nil {
@@ -57,13 +59,15 @@ func inKernelAN2RT(iters int) float64 {
 	}
 	tb.A1.KernelSend(tb.A2.Addr(), vc, []byte{1, 2, 3, 4})
 	tb.Eng.Run()
+	o.window(0, done)
 	return tb.Us(done) / float64(iters)
 }
 
 // userAN2RT measures the user-level ping-pong: polling processes using
 // the full system call interface.
-func userAN2RT(iters int) float64 {
+func userAN2RT(iters int, o *obsRun) float64 {
 	tb := NewAN2Testbed()
+	o.attach(tb)
 	const vc = 5
 	tb.K2.Spawn("echo", func(p *aegis.Process) {
 		ep, err := link.BindAN2(tb.A2, p, vc, 8, 4096)
@@ -78,13 +82,13 @@ func userAN2RT(iters int) float64 {
 			ep.Send(link.Addr{Port: f.Entry.Src, VC: vc}, msg)
 		}
 	})
-	var total sim.Time
+	var total, start sim.Time
 	tb.K1.Spawn("client", func(p *aegis.Process) {
 		ep, err := link.BindAN2(tb.A1, p, vc, 8, 4096)
 		if err != nil {
 			panic(err)
 		}
-		start := p.K.Now()
+		start = p.K.Now()
 		for i := 0; i < iters; i++ {
 			ep.Send(link.Addr{Port: tb.A2.Addr(), VC: vc}, []byte{1, 2, 3, 4})
 			f := ep.Recv(true)
@@ -93,12 +97,14 @@ func userAN2RT(iters int) float64 {
 		total = p.K.Now() - start
 	})
 	tb.Eng.Run()
+	o.window(start, start+total)
 	return tb.Us(total) / float64(iters)
 }
 
 // ethernetRT measures the user-level Ethernet ping-pong with DPF demux.
-func ethernetRT(iters int) float64 {
+func ethernetRT(iters int, o *obsRun) float64 {
 	tb := NewEthernetTestbed()
+	o.attach(tb)
 	tagged := func(tag byte) *dpf.Filter { return dpf.NewFilter().Eq8(0, tag) }
 
 	tb.K2.Spawn("echo", func(p *aegis.Process) {
@@ -115,13 +121,13 @@ func ethernetRT(iters int) float64 {
 			ep.Send(link.Addr{Port: f.Entry.Src}, msg)
 		}
 	})
-	var total sim.Time
+	var total, start sim.Time
 	tb.K1.Spawn("client", func(p *aegis.Process) {
 		ep, err := link.BindEthernet(tb.E1, p, tagged(0xBB))
 		if err != nil {
 			panic(err)
 		}
-		start := p.K.Now()
+		start = p.K.Now()
 		for i := 0; i < iters; i++ {
 			ep.Send(link.Addr{Port: tb.E2.Addr()}, []byte{0xAA, 0, 0, 4})
 			f := ep.Recv(true)
@@ -130,6 +136,7 @@ func ethernetRT(iters int) float64 {
 		total = p.K.Now() - start
 	})
 	tb.Eng.Run()
+	o.window(start, start+total)
 	return tb.Us(total) / float64(iters)
 }
 

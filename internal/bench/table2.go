@@ -149,7 +149,7 @@ func udpTrain(tb *Testbed, mkSock func(p *aegis.Process, host int) *udp.Socket,
 	})
 	tb.K1.Spawn("client", func(p *aegis.Process) {
 		sock := mkSock(p, 1)
-		payload := p.AS.Alloc(mss, "train-payload")
+		payload := p.AS.MustAlloc(mss, "train-payload")
 		var start sim.Time
 		for t := 0; t < warmup+trains; t++ {
 			if t == warmup {
@@ -203,7 +203,7 @@ func tcpCfgAN2(tb *Testbed, host int, inplace, cksum bool) tcp.Config {
 
 func tcpLatencyAN2(iters int, inplace, cksum bool) float64 {
 	tb := NewAN2Testbed()
-	return tcpPingPong(tb, iters,
+	return tcpPingPong(tb, iters, nil,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.StackAN2(p, 2, 7), tcpCfgAN2(tb, 2, inplace, cksum), 80)
 		},
@@ -213,15 +213,16 @@ func tcpLatencyAN2(iters int, inplace, cksum bool) float64 {
 }
 
 // tcpPingPong measures a 4-byte application-level ping-pong.
-func tcpPingPong(tb *Testbed, iters int,
+func tcpPingPong(tb *Testbed, iters int, o *obsRun,
 	accept func(p *aegis.Process) (*tcp.Conn, error),
 	connect func(p *aegis.Process) (*tcp.Conn, error)) float64 {
+	o.attach(tb)
 	tb.K2.Spawn("server", func(p *aegis.Process) {
 		conn, err := accept(p)
 		if err != nil {
 			panic(err)
 		}
-		buf := p.AS.Alloc(64, "rx")
+		buf := p.AS.MustAlloc(64, "rx")
 		for i := 0; i < 2+iters; i++ {
 			if err := conn.ReadFull(buf.Base, 4); err != nil {
 				panic(err)
@@ -232,15 +233,14 @@ func tcpPingPong(tb *Testbed, iters int,
 		}
 		_ = conn.Close()
 	})
-	var total sim.Time
+	var total, start sim.Time
 	done := false
 	tb.K1.Spawn("client", func(p *aegis.Process) {
 		conn, err := connect(p)
 		if err != nil {
 			panic(err)
 		}
-		buf := p.AS.Alloc(64, "tx")
-		var start sim.Time
+		buf := p.AS.MustAlloc(64, "tx")
 		for i := 0; i < 2+iters; i++ {
 			if i == 2 {
 				start = p.K.Now()
@@ -257,6 +257,7 @@ func tcpPingPong(tb *Testbed, iters int,
 		_ = conn.Close()
 	})
 	tb.RunUntilDone(&done, 60_000_000_000)
+	o.window(start, start+total)
 	return tb.Us(total) / float64(iters)
 }
 
@@ -270,7 +271,7 @@ func tcpStream(tb *Testbed, totalBytes, writeSize int,
 		if err != nil {
 			panic(err)
 		}
-		buf := p.AS.Alloc(writeSize+64, "rx")
+		buf := p.AS.MustAlloc(writeSize+64, "rx")
 		got := 0
 		for got < totalBytes {
 			n, err := conn.Read(buf.Base, writeSize)
@@ -288,7 +289,7 @@ func tcpStream(tb *Testbed, totalBytes, writeSize int,
 		if err != nil {
 			panic(err)
 		}
-		buf := p.AS.Alloc(writeSize, "tx")
+		buf := p.AS.MustAlloc(writeSize, "tx")
 		start := p.K.Now()
 		for sent := 0; sent < totalBytes; sent += writeSize {
 			n := writeSize
@@ -441,7 +442,7 @@ func tcpCfgEth(tb *Testbed, host int) tcp.Config {
 
 func tcpLatencyEth(iters int) float64 {
 	tb, s1, s2 := ethWorld()
-	return tcpPingPong(tb, iters,
+	return tcpPingPong(tb, iters, nil,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.EthStack(p, 2, ip.ProtoTCP, 80, s2), tcpCfgEth(tb, 2), 80)
 		},

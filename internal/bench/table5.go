@@ -42,8 +42,8 @@ var PaperTable5 = Table5{
 func RunTable5(iters int) Table5 {
 	var t Table5
 	for m := MechUnsafeASH; m <= MechOptASH; m++ {
-		t.Polling[m] = remoteIncrementRT(m, false, iters)
-		t.Suspended[m] = remoteIncrementRT(m, true, iters)
+		t.Polling[m] = remoteIncrementRT(m, false, iters, nil)
+		t.Suspended[m] = remoteIncrementRT(m, true, iters, nil)
 	}
 	return t
 }
@@ -51,8 +51,9 @@ func RunTable5(iters int) Table5 {
 // remoteIncrementRT measures the round trip of a remote-increment active
 // message. The client is a user-level polling process; the server-side
 // handling mechanism and scheduling state vary.
-func remoteIncrementRT(mech Mechanism, suspended bool, iters int) float64 {
+func remoteIncrementRT(mech Mechanism, suspended bool, iters int, o *obsRun) float64 {
 	tb := NewAN2Testbed()
+	o.attach(tb)
 	const vc = 9
 	const warmup = 2
 
@@ -88,7 +89,7 @@ func remoteIncrementRT(mech Mechanism, suspended bool, iters int) float64 {
 			if err != nil {
 				panic(err)
 			}
-			counter := p.AS.Alloc(64, "counter")
+			counter := p.AS.MustAlloc(64, "counter")
 			for i := 0; i < warmup+iters; i++ {
 				f := ep.Recv(!suspended)
 				// Increment: read the amount, bump, build the reply.
@@ -104,14 +105,13 @@ func remoteIncrementRT(mech Mechanism, suspended bool, iters int) float64 {
 	}
 
 	// Client: user-level polling ping-pong.
-	var total sim.Time
+	var total, start sim.Time
 	done := false
 	tb.K1.Spawn("client", func(p *aegis.Process) {
 		ep, err := link.BindAN2(tb.A1, p, vc, 8, 4096)
 		if err != nil {
 			panic(err)
 		}
-		var start sim.Time
 		for i := 0; i < warmup+iters; i++ {
 			if i == warmup {
 				start = p.K.Now()
@@ -132,6 +132,7 @@ func remoteIncrementRT(mech Mechanism, suspended bool, iters int) float64 {
 		done = true
 	})
 	tb.RunUntilDone(&done, 5_000_000_000)
+	o.window(start, start+total)
 	return tb.Us(total) / float64(iters)
 }
 

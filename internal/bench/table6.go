@@ -58,7 +58,7 @@ var table6Modes = [5]table6Mode{
 func RunTable6(p Table6Params) Table6 {
 	var t Table6
 	for i, m := range table6Modes {
-		t.Latency[i] = table6Latency(m, p.LatIters)
+		t.Latency[i] = table6Latency(m, p.LatIters, nil)
 		t.Tput[i] = table6Tput(m, p.TCPBytes, 3072, 8192)
 		t.TputSmall[i] = table6Tput(m, p.TCPBytes/2, 536, 4096)
 	}
@@ -90,9 +90,9 @@ func table6Cfg(tb *Testbed, m table6Mode, host, mss int) tcp.Config {
 	return cfg
 }
 
-func table6Latency(m table6Mode, iters int) float64 {
+func table6Latency(m table6Mode, iters int, o *obsRun) float64 {
 	tb := table6Testbed(m)
-	return tcpPingPong(tb, iters,
+	return tcpPingPong(tb, iters, o,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.StackAN2(p, 2, 7), table6Cfg(tb, m, 2, 3072), 80)
 		},
@@ -129,7 +129,7 @@ func (t Table6) Table() *Table {
 // Table6LatencyDebug and Table6TputDebug expose single-mode runs for
 // diagnostics.
 func Table6LatencyDebug(mode, iters int) float64 {
-	return table6Latency(table6Modes[mode], iters)
+	return table6Latency(table6Modes[mode], iters, nil)
 }
 
 // Table6TputDebug measures one mode's throughput.

@@ -16,10 +16,17 @@ import (
 	"ashs/internal/core"
 	"ashs/internal/mach"
 	"ashs/internal/netdev"
+	"ashs/internal/obs"
 	"ashs/internal/proto/ip"
 	"ashs/internal/proto/link"
 	"ashs/internal/sim"
 )
+
+// Observe, when non-nil, is called with every freshly built testbed before
+// any workload runs. The ashbench -trace flag installs a hook here that
+// attaches an observability plane to each testbed so every experiment can
+// be traced without threading a parameter through all of them.
+var Observe func(tb *Testbed)
 
 // Testbed is a pair of simulated hosts on one network.
 type Testbed struct {
@@ -31,6 +38,17 @@ type Testbed struct {
 	E1, E2     *aegis.EthernetIf // Ethernet testbeds
 	Sys1, Sys2 *core.System
 	IP1, IP2   ip.Addr
+	Obs        *obs.Plane // nil unless AttachObs was called
+}
+
+// AttachObs wires an observability plane into the testbed's switch and
+// both kernels. Tracing charges no simulated cycles, so attaching a plane
+// never changes measured results.
+func (tb *Testbed) AttachObs(pl *obs.Plane) {
+	tb.Obs = pl
+	tb.Sw.Obs = pl
+	tb.K1.Obs = pl
+	tb.K2.Obs = pl
 }
 
 // NewAN2Testbed builds the standard two-host AN2 world.
@@ -45,6 +63,9 @@ func NewAN2Testbed() *Testbed {
 	tb.A1, tb.A2 = aegis.NewAN2(tb.K1, sw), aegis.NewAN2(tb.K2, sw)
 	tb.Sys1, tb.Sys2 = core.NewSystem(tb.K1), core.NewSystem(tb.K2)
 	tb.IP1, tb.IP2 = ip.HostAddr(tb.A1.Addr()), ip.HostAddr(tb.A2.Addr())
+	if Observe != nil {
+		Observe(tb)
+	}
 	return tb
 }
 
@@ -60,6 +81,9 @@ func NewEthernetTestbed() *Testbed {
 	tb.E1, tb.E2 = aegis.NewEthernet(tb.K1, sw), aegis.NewEthernet(tb.K2, sw)
 	tb.Sys1, tb.Sys2 = core.NewSystem(tb.K1), core.NewSystem(tb.K2)
 	tb.IP1, tb.IP2 = ip.HostAddr(tb.E1.Addr()), ip.HostAddr(tb.E2.Addr())
+	if Observe != nil {
+		Observe(tb)
+	}
 	return tb
 }
 

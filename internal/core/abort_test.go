@@ -49,7 +49,7 @@ func newAbortWorld(t *testing.T) *abortWorld {
 	tb := newTestbed(t)
 	w := &abortWorld{tb: tb}
 	w.owner = tb.k2.Spawn("app", func(p *aegis.Process) {})
-	w.seg = w.owner.AS.Alloc(4096, "data")
+	w.seg = w.owner.AS.MustAlloc(4096, "data")
 	// Pre-existing application state the abort must preserve.
 	segBytes := w.owner.AS.MustBytes(w.seg.Base, int(w.seg.Len))
 	for i := range segBytes {
@@ -231,7 +231,7 @@ func TestAbortRollbackProperty(t *testing.T) {
 	for trial := 0; trial < 24; trial++ {
 		tb := newTestbed(t)
 		owner := tb.k2.Spawn("app", func(p *aegis.Process) {})
-		seg := owner.AS.Alloc(4096, "data")
+		seg := owner.AS.MustAlloc(4096, "data")
 		segBytes := owner.AS.MustBytes(seg.Base, int(seg.Len))
 		for i := range segBytes {
 			segBytes[i] = byte(r.Uint32())

@@ -92,7 +92,7 @@ func runIncrement(t *testing.T, unsafe bool, iters int) (float64, *ASH, *testbed
 		// The application pins a data page for the handler and then goes
 		// about its business (here: nothing).
 	})
-	counterSeg = owner.AS.Alloc(4096, "counters")
+	counterSeg = owner.AS.MustAlloc(4096, "counters")
 
 	ash := tb.sys.MustDownload(owner,
 		incrementASH(counterSeg.Base, func() (int, int) { return 0, 9 }),
@@ -228,7 +228,7 @@ func TestInvoluntaryAbortOnWildWrite(t *testing.T) {
 func TestInvoluntaryAbortOnNonResidentPage(t *testing.T) {
 	tb := newTestbed(t)
 	owner := tb.k2.Spawn("app", func(p *aegis.Process) {})
-	seg := owner.AS.Alloc(4096, "data")
+	seg := owner.AS.MustAlloc(4096, "data")
 	owner.AS.Unpin(seg.Base)
 
 	b := vcode.NewBuilder("touch-absent")
@@ -282,7 +282,7 @@ func TestMessageVectoringViaTrustedCopy(t *testing.T) {
 	// the payload into that slot of an application matrix.
 	tb := newTestbed(t)
 	owner := tb.k2.Spawn("app", func(p *aegis.Process) {})
-	matrix := owner.AS.Alloc(16*256, "matrix")
+	matrix := owner.AS.MustAlloc(16*256, "matrix")
 
 	b := vcode.NewBuilder("vectoring")
 	slot, dst := b.Temp(), b.Temp()
@@ -324,7 +324,7 @@ func TestMessageVectoringViaTrustedCopy(t *testing.T) {
 func TestASHDILPChecksumsWhileCopying(t *testing.T) {
 	tb := newTestbed(t)
 	owner := tb.k2.Spawn("app", func(p *aegis.Process) {})
-	dst := owner.AS.Alloc(4096, "appbuf")
+	dst := owner.AS.MustAlloc(4096, "appbuf")
 
 	pl := pipe.NewList(1)
 	_, _, err := pipe.Cksum(pl)
@@ -410,7 +410,7 @@ func TestASHRunsWhenOwnerSuspended(t *testing.T) {
 	tb.k2.Spawn("other", func(p *aegis.Process) {
 		p.Compute(sim.Time(tb.k2.Prof.QuantumCycles) * 50)
 	})
-	counter := owner.AS.Alloc(4096, "counter")
+	counter := owner.AS.MustAlloc(4096, "counter")
 	ash := tb.sys.MustDownload(owner,
 		incrementASH(counter.Base, func() (int, int) { return 0, 9 }), Options{})
 	sb, _ := tb.a2.BindVC(owner, 9, 8, 4096)
@@ -443,7 +443,7 @@ func TestLivelockDefenseThrottlesFlood(t *testing.T) {
 	tb := newTestbed(t)
 	tb.sys.RatePerTick = 4
 	owner := tb.k2.Spawn("app", func(p *aegis.Process) {})
-	counter := owner.AS.Alloc(4096, "counter")
+	counter := owner.AS.MustAlloc(4096, "counter")
 	ash := tb.sys.MustDownload(owner,
 		incrementASH(counter.Base, func() (int, int) { return 0, 9 }), Options{})
 	sb, _ := tb.a2.BindVC(owner, 9, 64, 4096)

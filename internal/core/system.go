@@ -199,6 +199,11 @@ func (s *System) Download(owner *aegis.Process, prog *vcode.Program, opts Option
 	}
 	s.nextID++
 	s.ashes[a.ID] = a
+	if o := s.K.Obs; o.Enabled() {
+		o.Instant(s.K.Name, "ash system", "ash", "download+verify "+a.Name,
+			s.K.Now())
+		o.Inc("ash/downloads")
+	}
 	return a, nil
 }
 
@@ -272,11 +277,18 @@ func (a *ASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 			// message take the lazy user-level path.
 			a.Throttled++
 			mc.Charge(2) // the refusal check itself
+			if o := a.sys.K.Obs; o.Enabled() {
+				o.Instant(a.sys.K.Name, "ash system", "ash",
+					"throttled "+a.Name, mc.When())
+				o.Inc("ash/throttled")
+			}
 			return aegis.DispToUser
 		}
 		a.tickCount++
 	}
 	a.Invocations++
+	invokeStart := mc.When()
+	a.sys.K.Obs.Inc("ash/invocations")
 	m := a.machine
 	a.curMC = mc
 
@@ -334,12 +346,28 @@ func (a *ASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 		m.Regs = regs
 		a.InvoluntaryFault = fault
 		a.noteInvoluntaryAbort()
+		if o := a.sys.K.Obs; o.Enabled() {
+			o.Span(a.sys.K.Name, "ash system", "ash", "ash "+a.Name,
+				invokeStart, mc.When()-invokeStart)
+			o.Instant(a.sys.K.Name, "ash system", "ash",
+				"involuntary abort "+a.Name, mc.When())
+			o.Inc("ash/aborts_involuntary")
+		}
 		return aegis.DispToUser
+	}
+	if o := a.sys.K.Obs; o.Enabled() {
+		o.Span(a.sys.K.Name, "ash system", "ash", "ash "+a.Name,
+			invokeStart, mc.When()-invokeStart)
 	}
 	if m.Regs[vcode.RRet] != 0 {
 		// Voluntary abort: the handler examined the message and returned
 		// it to the kernel to be handled normally.
 		a.VoluntaryAborts++
+		if o := a.sys.K.Obs; o.Enabled() {
+			o.Instant(a.sys.K.Name, "ash system", "ash",
+				"voluntary abort "+a.Name, mc.When())
+			o.Inc("ash/aborts_voluntary")
+		}
 		return aegis.DispToUser
 	}
 	return aegis.DispConsumed

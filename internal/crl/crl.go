@@ -49,9 +49,9 @@ const MaxSegments = 16
 // NewNode initializes DSM state for owner.
 func NewNode(sys *core.System, owner *aegis.Process) *Node {
 	n := &Node{Owner: owner, Sys: sys}
-	n.tableSeg = owner.AS.Alloc(MaxSegments*8, "crl-segtable")
-	n.CounterSeg = owner.AS.Alloc(4096, "crl-counters")
-	n.LockSeg = owner.AS.Alloc(4096, "crl-locks")
+	n.tableSeg = owner.AS.MustAlloc(MaxSegments*8, "crl-segtable")
+	n.CounterSeg = owner.AS.MustAlloc(4096, "crl-counters")
+	n.LockSeg = owner.AS.MustAlloc(4096, "crl-locks")
 	return n
 }
 
@@ -61,7 +61,7 @@ func (n *Node) AddSegment(size int, name string) (int, aegis.Segment, error) {
 	if n.nsegs >= MaxSegments {
 		return 0, aegis.Segment{}, fmt.Errorf("crl: segment table full")
 	}
-	seg := n.Owner.AS.Alloc(size, "crl-"+name)
+	seg := n.Owner.AS.MustAlloc(size, "crl-"+name)
 	id := n.nsegs
 	n.nsegs++
 	n.segs = append(n.segs, seg)

@@ -19,8 +19,10 @@ package netdev
 import (
 	"fmt"
 	"hash/crc32"
+	"strconv"
 
 	"ashs/internal/mach"
+	"ashs/internal/obs"
 	"ashs/internal/sim"
 )
 
@@ -107,6 +109,10 @@ type Switch struct {
 	// Fault injection for tests: called per packet before delivery.
 	// Return false to drop. May mutate the packet (corruption tests).
 	Inject func(p *Packet) bool
+
+	// Obs is the wire's observability plane. nil (the default) disables
+	// tracing and metrics at zero cost; see internal/obs.
+	Obs *obs.Plane
 
 	// Statistics. Redelivered counts frames an injector re-introduced
 	// (duplicates, held-back reorders) via Redeliver.
@@ -200,9 +206,25 @@ func (p *Port) Transmit(pkt *Packet) error {
 	p.txBusyUntil = doneSerializing
 	deliverAt := doneSerializing + s.FixedCycles()
 
+	if o := s.Obs; o.Enabled() {
+		lane := "port " + strconv.Itoa(p.addr)
+		n := strconv.Itoa(len(pkt.Data))
+		o.Span(s.Cfg.Name, lane, "wire", "serialize n="+n, start,
+			doneSerializing-start)
+		o.Span(s.Cfg.Name, lane, "wire", "flight n="+n, doneSerializing,
+			deliverAt-doneSerializing)
+		o.Inc("net/frames_sent")
+		o.Observe("net/serialize_cycles", doneSerializing-start)
+	}
+
 	s.Eng.ScheduleAt(deliverAt, func() {
 		if s.Inject != nil && !s.Inject(pkt) {
 			s.Dropped++
+			if o := s.Obs; o.Enabled() {
+				o.Instant(s.Cfg.Name, "port "+strconv.Itoa(p.addr), "fault",
+					"injected drop", s.Eng.Now())
+				o.Inc("net/frames_dropped_injected")
+			}
 			return
 		}
 		s.deliver(pkt)
@@ -213,6 +235,7 @@ func (p *Port) Transmit(pkt *Packet) error {
 // deliver fans a packet out to its destination port(s) right now.
 func (s *Switch) deliver(pkt *Packet) {
 	s.Delivered++
+	s.Obs.Inc("net/frames_delivered")
 	for i, dst := range s.ports {
 		if pkt.Dst == Broadcast && i == pkt.Src {
 			continue
@@ -232,5 +255,10 @@ func (s *Switch) deliver(pkt *Packet) {
 // injector seeing its own output again.
 func (s *Switch) Redeliver(pkt *Packet) {
 	s.Redelivered++
+	if o := s.Obs; o.Enabled() {
+		o.Instant(s.Cfg.Name, "port "+strconv.Itoa(pkt.Src), "fault",
+			"redeliver", s.Eng.Now())
+		o.Inc("net/frames_redelivered")
+	}
 	s.deliver(pkt)
 }

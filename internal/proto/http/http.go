@@ -28,7 +28,7 @@ type Server struct {
 
 // ioBuf allocates a scratch segment for wire I/O on conn's host.
 func ioBuf(conn *tcp.Conn, n int) aegis.Segment {
-	return conn.St.Ep.Owner().AS.Alloc(n, "http-io")
+	return conn.St.Ep.Owner().AS.MustAlloc(n, "http-io")
 }
 
 // readUntilBlankLine reads header bytes up to and including CRLFCRLF.

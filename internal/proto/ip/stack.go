@@ -88,7 +88,7 @@ func NewStack(ep link.Endpoint, local Addr, res Resolver) *Stack {
 	}
 	for i := 0; i < ReasmSlots; i++ {
 		s.slots = append(s.slots, &reasmBuf{
-			seg: ep.Owner().AS.Alloc(ReasmBufSize, fmt.Sprintf("ip-reasm-%d", i)),
+			seg: ep.Owner().AS.MustAlloc(ReasmBufSize, fmt.Sprintf("ip-reasm-%d", i)),
 		})
 	}
 	return s

@@ -52,7 +52,7 @@ func (w *fragWorld) mkFragment(id uint16, off int, mf bool, payload []byte) link
 	}
 	buf := h.Marshal(nil)
 	buf = append(buf, payload...)
-	seg := w.p.AS.Alloc(len(buf)+16, "frag")
+	seg := w.p.AS.MustAlloc(len(buf)+16, "frag")
 	copy(w.k.Bytes(seg.Base, len(buf)), buf)
 	return link.FabricateFrame(w.k, seg.Base, len(buf))
 }

@@ -62,8 +62,8 @@ func TestCopyRangeMovesBytesAndCharges(t *testing.T) {
 	eng, k1, _, _, _ := newHostPair(t)
 	var cost sim.Time
 	k1.Spawn("app", func(p *aegis.Process) {
-		src := p.AS.Alloc(4096, "src")
-		dst := p.AS.Alloc(4096, "dst")
+		src := p.AS.MustAlloc(4096, "src")
+		dst := p.AS.MustAlloc(4096, "dst")
 		rng := rand.New(rand.NewSource(1))
 		s := k1.Bytes(src.Base, 4096)
 		rng.Read(s)
@@ -97,17 +97,17 @@ func TestCopyFromStripedFrameMatchesContiguous(t *testing.T) {
 		payload := make([]byte, 1000)
 		rand.New(rand.NewSource(2)).Read(payload)
 
-		stripedSeg := p.AS.Alloc(2048+32, "striped")
+		stripedSeg := p.AS.MustAlloc(2048+32, "striped")
 		aegis.Stripe(k1.Bytes(stripedSeg.Base, 2048+32), payload)
 		fs := Frame{Entry: aegis.RingEntry{Addr: stripedSeg.Base, Len: len(payload)}, Striped: true}
 		setFrameKernel(&fs, k1)
 
-		contSeg := p.AS.Alloc(1024, "cont")
+		contSeg := p.AS.MustAlloc(1024, "cont")
 		copy(k1.Bytes(contSeg.Base, 1000), payload)
 		fc := FabricateFrame(k1, contSeg.Base, 1000)
 
-		d1 := p.AS.Alloc(1024, "d1")
-		d2 := p.AS.Alloc(1024, "d2")
+		d1 := p.AS.MustAlloc(1024, "d1")
+		d2 := p.AS.MustAlloc(1024, "d2")
 		a1 := CopyFromFrame(p, fs, 16, d1.Base, 900, true)
 		a2 := CopyFromFrame(p, fc, 16, d2.Base, 900, true)
 		b1 := k1.Bytes(d1.Base, 900)
@@ -131,7 +131,7 @@ func setFrameKernel(f *Frame, k *aegis.Kernel) { f.k = k }
 func TestFrameFieldAccessors(t *testing.T) {
 	eng, k1, _, _, _ := newHostPair(t)
 	k1.Spawn("app", func(p *aegis.Process) {
-		seg := p.AS.Alloc(64, "buf")
+		seg := p.AS.MustAlloc(64, "buf")
 		b := k1.Bytes(seg.Base, 64)
 		for i := range b {
 			b[i] = byte(i)

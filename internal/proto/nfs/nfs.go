@@ -292,6 +292,10 @@ func (c *Client) call(p *aegis.Process, proc uint32, fh Handle, a, b uint32, pay
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			c.Resent++
+			if o := k.Obs; o.Enabled() {
+				o.Instant(k.Name, "nfs "+p.Name, "proto", "nfs retry", k.Now())
+				o.Inc("nfs/retries")
+			}
 		}
 		if err := c.Sock.SendBytes(c.Server, c.Port, req); err != nil {
 			return 0, nil, err

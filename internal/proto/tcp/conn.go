@@ -184,25 +184,43 @@ func (c *Conn) DebugString() string {
 		c.Retransmits, c.err)
 }
 
-// newConn builds the PCB.
-func newConn(st *ip.Stack, cfg Config, localPort uint16) *Conn {
+// newConn builds the PCB. Allocating the handler ring can fail if the
+// guest's host is out of physical memory; the error propagates out of
+// Connect/Accept instead of crashing the simulation.
+func newConn(st *ip.Stack, cfg Config, localPort uint16) (*Conn, error) {
 	if cfg.MSS <= 0 || cfg.Window <= 0 {
 		panic("tcp: bad config")
 	}
 	c := &Conn{St: st, Cfg: cfg, Costs: DefaultCosts(), localPort: localPort}
 	if cfg.Mode != ModeUser {
-		c.hring = st.Ep.Owner().AS.Alloc(cfg.Window, fmt.Sprintf("tcp-%d-hring", localPort))
+		seg, err := st.Ep.Owner().AS.Alloc(cfg.Window, fmt.Sprintf("tcp-%d-hring", localPort))
+		if err != nil {
+			return nil, err
+		}
+		c.hring = seg
 	}
-	return c
+	return c, nil
 }
 
 func (c *Conn) owner() *aegis.Process { return c.St.Ep.Owner() }
 func (c *Conn) kern() *aegis.Kernel   { return c.St.Ep.Kernel() }
 func (c *Conn) now() sim.Time         { return c.kern().Now() }
 
+// traceSpan emits a protocol-library span covering [t0, now) on the
+// connection's host. Nil-plane safe; tracing charges nothing.
+func (c *Conn) traceSpan(name string, t0 sim.Time) {
+	if o := c.kern().Obs; o.Enabled() {
+		o.Span(c.kern().Name, "tcp "+c.owner().Name, "proto", name,
+			t0, c.now()-t0)
+	}
+}
+
 // Connect performs an active open and blocks until established.
 func Connect(st *ip.Stack, cfg Config, localPort uint16, remote ip.Addr, remotePort uint16) (*Conn, error) {
-	c := newConn(st, cfg, localPort)
+	c, err := newConn(st, cfg, localPort)
+	if err != nil {
+		return nil, err
+	}
 	c.remoteIP = remote
 	c.remotePort = remotePort
 	c.iss = 1000*uint32(localPort) + 7
@@ -222,7 +240,10 @@ func Connect(st *ip.Stack, cfg Config, localPort uint16, remote ip.Addr, remoteP
 
 // Accept performs a passive open on localPort and blocks until established.
 func Accept(st *ip.Stack, cfg Config, localPort uint16) (*Conn, error) {
-	c := newConn(st, cfg, localPort)
+	c, err := newConn(st, cfg, localPort)
+	if err != nil {
+		return nil, err
+	}
 	c.state = Listen
 	c.iss = 2000*uint32(localPort) + 13
 	for c.state != Established && c.err == nil {
@@ -267,6 +288,7 @@ func (c *Conn) segPayload(addr uint32, n int) []byte {
 // its real cache state). Control segments pass n == 0.
 func (c *Conn) sendSegment(flags Flags, seq uint32, payloadAddr *uint32, n int, addToRtx bool) {
 	p := c.owner()
+	t0 := c.now()
 	p.Compute(c.Costs.Output)
 
 	var data []byte
@@ -293,6 +315,7 @@ func (c *Conn) sendSegment(flags Flags, seq uint32, payloadAddr *uint32, n int, 
 	buf := h.Marshal(nil)
 	buf = append(buf, data...)
 	c.SegsOut++
+	c.traceSpan("tcp output", t0)
 	c.ackDue = false
 	c.ackDeadline = 0
 	c.unacked = 0
@@ -332,7 +355,9 @@ func (c *Conn) Write(addr uint32, n int) error {
 		return errClosed
 	}
 	p := c.owner()
+	t0b := c.now()
 	p.Compute(c.Costs.Boundary)
+	c.traceSpan("tcp boundary", t0b)
 	sent := 0
 	for sent < n && c.err == nil {
 		// Respect the peer's window against unacknowledged data.
@@ -385,7 +410,7 @@ var scratchSegs = map[*Conn]aegis.Segment{}
 func (c *Conn) scratch(n int) uint32 {
 	s, ok := scratchSegs[c]
 	if !ok || int(s.Len) < n {
-		s = c.owner().AS.Alloc(max(n, 16384), "tcp-scratch")
+		s = c.owner().AS.MustAlloc(max(n, 16384), "tcp-scratch")
 		scratchSegs[c] = s
 	}
 	return s.Base
@@ -445,6 +470,11 @@ func (c *Conn) checkTimers() {
 	if c.persistDeadline != 0 && now >= c.persistDeadline {
 		if c.sndWnd == 0 && c.sndUna == c.sndNxt &&
 			(c.state == Established || c.state == CloseWait) {
+			if o := c.kern().Obs; o.Enabled() {
+				o.Instant(c.kern().Name, "tcp "+c.owner().Name, "proto",
+					"tcp persist probe", now)
+				o.Inc("tcp/persist_probes")
+			}
 			c.sendWindowProbe()
 			c.persistRTO *= 2
 			if m := c.maxRTO(); c.persistRTO > m {
@@ -471,6 +501,11 @@ func (c *Conn) checkTimers() {
 			}
 			r.tries++
 			c.Retransmits++
+			if o := c.kern().Obs; o.Enabled() {
+				o.Instant(c.kern().Name, "tcp "+c.owner().Name, "proto",
+					"tcp retransmit", now)
+				o.Inc("tcp/retransmits")
+			}
 			r.rexmitted = true
 			r.rto *= 2
 			if maxRTO := c.maxRTO(); r.rto > maxRTO {
@@ -569,6 +604,7 @@ func (c *Conn) teardown(err error) {
 // retransmit re-emits one segment from the queue.
 func (c *Conn) retransmit(r *rtxSeg) {
 	p := c.owner()
+	t0 := c.now()
 	p.Compute(c.Costs.Output)
 	h := Header{
 		SrcPort: c.localPort, DstPort: c.remotePort,
@@ -588,6 +624,7 @@ func (c *Conn) retransmit(r *rtxSeg) {
 	buf := h.Marshal(nil)
 	buf = append(buf, r.data...)
 	c.SegsOut++
+	c.traceSpan("tcp rexmit output", t0)
 	if err := c.St.Send(ip.ProtoTCP, c.remoteIP, buf); err != nil {
 		c.err = err
 	}
@@ -621,6 +658,7 @@ func (c *Conn) input(d ip.Dgram) {
 	predicted := c.state == Established &&
 		h.Flags&^(ACK|PSH) == 0 && h.Flags&ACK != 0 &&
 		h.Seq == c.rcvNxt && seqLE(h.Ack, c.sndNxt)
+	t0 := c.now()
 	if predicted {
 		c.PredictHits++
 		p.Compute(c.Costs.Predict)
@@ -628,6 +666,7 @@ func (c *Conn) input(d ip.Dgram) {
 		c.PredictMisses++
 		p.Compute(c.Costs.Input)
 	}
+	c.traceSpan("tcp input", t0)
 
 	if c.Cfg.Checksum && !c.verifyChecksum(d, &h, dataOff, plen) {
 		c.BadChecksum++
@@ -734,11 +773,13 @@ func (c *Conn) input(d ip.Dgram) {
 // traversal over header+payload in the receive buffer.
 func (c *Conn) verifyChecksum(d ip.Dgram, h *Header, dataOff, plen int) bool {
 	p := c.owner()
+	t0 := c.now()
 	p.Compute(c.Costs.CksumFixed)
 	seglen := dataOff + plen
 	acc := ip.PseudoCksum(d.Hdr.Src, d.Hdr.Dst, ip.ProtoTCP, seglen)
 	// Traversal over the segment where it lies (uncached after DMA).
 	acc += link.CksumFromFrame(p, d.Frame, d.Off, seglen)
+	c.traceSpan("tcp cksum verify", t0)
 	return link.FoldCksum(acc) == 0xffff
 }
 
@@ -874,7 +915,9 @@ func (c *Conn) Read(dst uint32, maxBytes int) (int, error) {
 		return 0, fmt.Errorf("tcp: Read with non-positive max %d", maxBytes)
 	}
 	p := c.owner()
+	t0b := c.now()
 	p.Compute(c.Costs.Boundary)
+	c.traceSpan("tcp boundary", t0b)
 	for c.Available() == 0 {
 		if c.err != nil {
 			return 0, c.err
@@ -959,7 +1002,9 @@ func (c *Conn) ReadFull(dst uint32, n int) error {
 // Close sends FIN and completes the shutdown handshake.
 func (c *Conn) Close() error {
 	p := c.owner()
+	t0b := c.now()
 	p.Compute(c.Costs.Boundary)
+	c.traceSpan("tcp boundary", t0b)
 	switch c.state {
 	case Established:
 		c.state = FinWait1

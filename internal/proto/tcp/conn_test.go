@@ -82,7 +82,7 @@ func transferTest(t *testing.T, mode Mode, payloadLen int, seed int64, mutate fu
 			srvDone <- nil
 			return
 		}
-		buf := p.AS.Alloc(payloadLen+16, "rxdata")
+		buf := p.AS.MustAlloc(payloadLen+16, "rxdata")
 		if err := conn.ReadFull(buf.Base, payloadLen); err != nil {
 			t.Errorf("server read: %v", err)
 			srvDone <- nil
@@ -116,7 +116,7 @@ func transferTest(t *testing.T, mode Mode, payloadLen int, seed int64, mutate fu
 			cliDone <- nil
 			return
 		}
-		buf := p.AS.Alloc(16, "marker")
+		buf := p.AS.MustAlloc(16, "marker")
 		if err := conn.ReadFull(buf.Base, 4); err != nil {
 			t.Errorf("client read: %v", err)
 			cliDone <- nil
@@ -287,7 +287,7 @@ func TestRandomSegmentationProperty(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				buf := p.AS.Alloc(size+16, "rx")
+				buf := p.AS.MustAlloc(size+16, "rx")
 				if err := conn.ReadFull(buf.Base, size); err != nil {
 					t.Error(err)
 					return
@@ -336,7 +336,7 @@ func TestSynchronousWriteSemantics(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		buf := p.AS.Alloc(8192, "rx")
+		buf := p.AS.MustAlloc(8192, "rx")
 		_ = conn.ReadFull(buf.Base, 8000)
 		_ = conn.Close()
 	})
@@ -372,7 +372,7 @@ func TestWindowLimitsInFlightData(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		buf := p.AS.Alloc(65536, "rx")
+		buf := p.AS.MustAlloc(65536, "rx")
 		_ = conn.ReadFull(buf.Base, 50000)
 		_ = conn.Close()
 	})
@@ -435,7 +435,7 @@ func TestASHLatencyBeatsUserWhenSuspended(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			buf := p.AS.Alloc(64, "rx")
+			buf := p.AS.MustAlloc(64, "rx")
 			for i := 0; i < iters; i++ {
 				if err := conn.ReadFull(buf.Base, 4); err != nil {
 					t.Error(err)
@@ -457,7 +457,7 @@ func TestASHLatencyBeatsUserWhenSuspended(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			buf := p.AS.Alloc(64, "tx")
+			buf := p.AS.MustAlloc(64, "tx")
 			start := p.K.Now()
 			for i := 0; i < iters; i++ {
 				if err := conn.Write(buf.Base, 4); err != nil {
@@ -507,7 +507,7 @@ func TestWindowStallAndRecovery(t *testing.T) {
 		}
 		// Stall: compute for 50 ms before reading anything.
 		p.Compute(w.k2.Prof.Cycles(50_000))
-		buf := p.AS.Alloc(len(payload)+16, "rx")
+		buf := p.AS.MustAlloc(len(payload)+16, "rx")
 		if err := conn.ReadFull(buf.Base, len(payload)); err != nil {
 			t.Error(err)
 			return

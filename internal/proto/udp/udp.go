@@ -92,8 +92,8 @@ const MaxPayload = 56 * 1024
 func NewSocket(st *ip.Stack, lp uint16, opts Options) *Socket {
 	s := &Socket{St: st, LocalPort: lp, Opts: opts, Costs: DefaultCosts()}
 	owner := st.Ep.Owner()
-	s.rxApp = owner.AS.Alloc(MaxPayload, fmt.Sprintf("udp-%d-rx", lp))
-	s.txApp = owner.AS.Alloc(MaxPayload, fmt.Sprintf("udp-%d-tx", lp))
+	s.rxApp = owner.AS.MustAlloc(MaxPayload, fmt.Sprintf("udp-%d-rx", lp))
+	s.txApp = owner.AS.MustAlloc(MaxPayload, fmt.Sprintf("udp-%d-tx", lp))
 	return s
 }
 

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // Rand is the simulation's deterministic pseudo-random source. Everything
 // in the simulator that needs randomness (most prominently the fault
 // plane) draws from a Rand seeded explicitly, so a failing run replays
@@ -36,11 +38,25 @@ func (r *Rand) Float64() float64 {
 }
 
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
+//
+// Draws use Lemire's bounded multiply-shift with rejection, so every
+// value in [0, n) is exactly equally likely — the naive Uint64() % n
+// maps 2^64 inputs onto n outputs and over-represents the low residues
+// whenever n does not divide 2^64. Rejection happens for at most n out
+// of 2^64 draws, so the common case is still a single multiply.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - un) mod un: first unbiased fraction
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Prob returns true with probability p. p <= 0 never fires and consumes no

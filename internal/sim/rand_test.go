@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// Equal seeds must yield equal streams — the whole fault plane's replay
+// story rests on this.
+func TestRandStreamEquality(t *testing.T) {
+	a, b := NewRand(12345), NewRand(12345)
+	for i := 0; i < 10000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %#x != %#x", i, av, bv)
+		}
+	}
+	c := NewRand(12346)
+	same := 0
+	a = NewRand(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide on %d/1000 draws", same)
+	}
+}
+
+// Intn must be uniform. With the old modulo construction this passes for
+// power-of-two n but the chi-squared check below would catch gross bias;
+// the targeted regression is TestIntnNoModuloBias.
+func TestIntnDistribution(t *testing.T) {
+	r := NewRand(7)
+	const n, draws = 13, 130000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	exp := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// 12 degrees of freedom; 99.9th percentile is ~32.9.
+	if chi2 > 40 {
+		t.Fatalf("Intn(%d) chi-squared %.1f, expected < 40", n, chi2)
+	}
+}
+
+// Regression for the modulo-bias bug: with rejection sampling the map
+// from accepted 64-bit draws to [0, n) is exactly balanced. Simulate the
+// generator on a crafted n where the bias of `Uint64() % n` is extreme
+// and check the top of the range is still reachable and roughly uniform
+// at the halves.
+func TestIntnNoModuloBias(t *testing.T) {
+	// n = 3*2^61. Under the old `Uint64() % n` scheme, residues below
+	// 2^62 are hit by 3 of the 2^64 inputs each and residues above by
+	// only 2, which puts just 43.75% of the mass in the top half of the
+	// range. Rejection sampling restores exactly 50%.
+	n := 3 << 61
+	r := NewRand(99)
+	const draws = 100000
+	top := 0
+	for i := 0; i < draws; i++ {
+		if r.Intn(n) >= n/2 {
+			top++
+		}
+	}
+	frac := float64(top) / draws
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("Intn(3*2^61): top-half fraction %.4f, want ~0.5 "+
+			"(modulo bias would give ~0.4375)", frac)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestProbFrequency(t *testing.T) {
+	r := NewRand(11)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Prob(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / draws; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Prob(0.25) fired %.4f of the time", frac)
+	}
+	if r.Prob(1.1) != true {
+		t.Fatal("Prob(>1) should always fire")
+	}
+}
+
+// The documented contract: Prob(p <= 0) never fires AND consumes no
+// state, so a schedule with a fault class disabled draws identically to
+// one that omits the class entirely.
+func TestProbZeroConsumesNoState(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Prob(0) {
+			t.Fatal("Prob(0) fired")
+		}
+		if a.Prob(-1) {
+			t.Fatal("Prob(-1) fired")
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d diverged after Prob(<=0) calls: %#x != %#x",
+				i, av, bv)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
