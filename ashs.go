@@ -219,36 +219,108 @@ type World struct {
 	EthHost1, EthHost2 *aegis.EthernetIf
 	ASH1, ASH2         *ASHSystem
 	IP1, IP2           ip.Addr
+	// Obs is the observability plane attached at construction (WithObs)
+	// or via AttachObs; nil when unobserved.
+	Obs *ObsPlane
+	// Fault is the fault plane attached at construction (WithFaultPlane)
+	// or via AttachFaultPlane; nil when no faults are injected.
+	Fault *FaultPlane
 }
 
-// NewAN2World builds two hosts on an AN2 switch.
-func NewAN2World() *World {
-	tb := bench.NewAN2Testbed()
-	return &World{tb: tb, Eng: tb.Eng, Prof: tb.Prof,
+// WorldOption configures NewWorld. Options are applied in a fixed
+// internal order (network selection, then observability, then fault
+// injection), so construction is insensitive to the order they are
+// passed in — unlike the deprecated constructor + Attach* flow, where
+// attaching a fault plane before the observability plane silently
+// skipped the fault-counter metrics mirror.
+type WorldOption func(*worldSpec)
+
+type worldSpec struct {
+	ethernet bool
+	obs      *ObsPlane
+	faults   []*FaultPlane
+}
+
+// WithEthernet selects the two-host Ethernet segment instead of the
+// default AN2 switch.
+func WithEthernet() WorldOption {
+	return func(s *worldSpec) { s.ethernet = true }
+}
+
+// WithObs attaches an observability plane to the world's switch and both
+// kernels. Tracing charges no simulated cycles, so observing a world
+// never changes simulated results.
+func WithObs(pl *ObsPlane) WorldOption {
+	return func(s *worldSpec) { s.obs = pl }
+}
+
+// WithFaultPlane builds a deterministic fault plane from seed and sched
+// and hooks it into every injection point of the world (wire, both
+// interfaces, both ASH systems). The plane is reachable as World.Fault.
+func WithFaultPlane(seed int64, sched FaultSchedule) WorldOption {
+	return func(s *worldSpec) { s.faults = append(s.faults, fault.New(seed, sched)) }
+}
+
+// NewWorld builds a two-host testbed from functional options:
+//
+//	w := ashs.NewWorld()                                  // AN2, plain
+//	w := ashs.NewWorld(ashs.WithEthernet())               // Ethernet
+//	w := ashs.NewWorld(ashs.WithObs(ashs.NewObsPlane()),
+//	    ashs.WithFaultPlane(1, ashs.CannedSchedules()[0]))
+//
+// It replaces the NewAN2World/NewEthernetWorld + AttachObs /
+// AttachFaultPlane sequence with order-insensitive construction.
+func NewWorld(opts ...WorldOption) *World {
+	var s worldSpec
+	for _, o := range opts {
+		o(&s)
+	}
+	var tb *bench.Testbed
+	if s.ethernet {
+		tb = bench.NewEthernetTestbed(nil)
+	} else {
+		tb = bench.NewAN2Testbed(nil)
+	}
+	w := &World{tb: tb, Eng: tb.Eng, Prof: tb.Prof,
 		Host1: tb.K1, Host2: tb.K2,
 		AN2Host1: tb.A1, AN2Host2: tb.A2,
-		ASH1: tb.Sys1, ASH2: tb.Sys2,
-		IP1: tb.IP1, IP2: tb.IP2}
-}
-
-// NewEthernetWorld builds two hosts on an Ethernet segment.
-func NewEthernetWorld() *World {
-	tb := bench.NewEthernetTestbed()
-	return &World{tb: tb, Eng: tb.Eng, Prof: tb.Prof,
-		Host1: tb.K1, Host2: tb.K2,
 		EthHost1: tb.E1, EthHost2: tb.E2,
 		ASH1: tb.Sys1, ASH2: tb.Sys2,
 		IP1: tb.IP1, IP2: tb.IP2}
+	if s.obs != nil {
+		w.AttachObs(s.obs)
+	}
+	for _, p := range s.faults {
+		w.AttachFaultPlane(p)
+	}
+	return w
 }
+
+// NewAN2World builds two hosts on an AN2 switch.
+//
+// Deprecated: use NewWorld().
+func NewAN2World() *World { return NewWorld() }
+
+// NewEthernetWorld builds two hosts on an Ethernet segment.
+//
+// Deprecated: use NewWorld(WithEthernet()).
+func NewEthernetWorld() *World { return NewWorld(WithEthernet()) }
 
 // AttachObs wires an observability plane into the world's switch and
 // both kernels. Tracing charges no simulated cycles, so attaching a
 // plane never changes simulated results.
-func (w *World) AttachObs(pl *ObsPlane) { w.tb.AttachObs(pl) }
+func (w *World) AttachObs(pl *ObsPlane) {
+	w.Obs = pl
+	w.tb.AttachObs(pl)
+}
 
 // AttachFaultPlane hooks a fault plane into every injection point of the
-// world: the wire, both network interfaces, and both ASH systems.
+// world: the wire, both network interfaces, and both ASH systems. Note
+// the fault-counter metrics mirror only engages if an observability
+// plane is already attached — NewWorld's options apply in that order
+// regardless of how they are passed.
 func (w *World) AttachFaultPlane(p *FaultPlane) {
+	w.Fault = p
 	p.AttachWire(w.tb.Sw)
 	if w.AN2Host1 != nil {
 		p.AttachAN2(w.AN2Host1)

@@ -19,7 +19,7 @@ import (
 func BenchmarkTable1RawLatency(b *testing.B) {
 	var t bench.Table1
 	for i := 0; i < b.N; i++ {
-		t = bench.RunTable1(10)
+		t = bench.RunTable1(nil, 10)
 	}
 	b.ReportMetric(t.InKernelAN2, "us-inkernel")
 	b.ReportMetric(t.UserAN2, "us-user")
@@ -29,7 +29,7 @@ func BenchmarkTable1RawLatency(b *testing.B) {
 func BenchmarkFig3Throughput(b *testing.B) {
 	var f bench.Fig3
 	for i := 0; i < b.N; i++ {
-		f = bench.RunFig3(32)
+		f = bench.RunFig3(nil, 32)
 	}
 	last := f.Points[len(f.Points)-1]
 	b.ReportMetric(last.MBps, "MBps-4KB")
@@ -40,7 +40,7 @@ func BenchmarkTable2UDPTCP(b *testing.B) {
 	p := bench.Table2Params{LatIters: 6, UDPTrains: 8, TCPBytes: 1 << 20}
 	var t bench.Table2
 	for i := 0; i < b.N; i++ {
-		t = bench.RunTable2(p)
+		t = bench.RunTable2(nil, p)
 	}
 	b.ReportMetric(t.Rows[0].UDPLat, "us-udp-inplace")
 	b.ReportMetric(t.Rows[3].UDPLat, "us-udp-cksum")
@@ -51,7 +51,7 @@ func BenchmarkTable2UDPTCP(b *testing.B) {
 func BenchmarkTable3Copies(b *testing.B) {
 	var t bench.Table3
 	for i := 0; i < b.N; i++ {
-		t = bench.RunTable3()
+		t = bench.RunTable3(nil)
 	}
 	b.ReportMetric(t.SingleCopy, "MBps-single")
 	b.ReportMetric(t.DoubleCopy, "MBps-double")
@@ -61,7 +61,7 @@ func BenchmarkTable3Copies(b *testing.B) {
 func BenchmarkTable4ILP(b *testing.B) {
 	var t bench.Table4
 	for i := 0; i < b.N; i++ {
-		t = bench.RunTable4()
+		t = bench.RunTable4(nil)
 	}
 	b.ReportMetric(t.Separate[0], "MBps-separate")
 	b.ReportMetric(t.CIntegrated[0], "MBps-hand")
@@ -72,7 +72,7 @@ func BenchmarkTable4ILP(b *testing.B) {
 func BenchmarkTable5RemoteIncrement(b *testing.B) {
 	var t bench.Table5
 	for i := 0; i < b.N; i++ {
-		t = bench.RunTable5(8)
+		t = bench.RunTable5(nil, 8)
 	}
 	b.ReportMetric(t.Polling[bench.MechUnsafeASH], "us-unsafe-ash")
 	b.ReportMetric(t.Polling[bench.MechSandboxedASH], "us-sandboxed-ash")
@@ -84,7 +84,7 @@ func BenchmarkTable6TCPASH(b *testing.B) {
 	p := bench.Table6Params{LatIters: 6, TCPBytes: 1 << 20}
 	var t bench.Table6
 	for i := 0; i < b.N; i++ {
-		t = bench.RunTable6(p)
+		t = bench.RunTable6(nil, p)
 	}
 	b.ReportMetric(t.Latency[0], "us-sandboxed-ash")
 	b.ReportMetric(t.Latency[4], "us-user-polling")
@@ -95,7 +95,7 @@ func BenchmarkTable6TCPASH(b *testing.B) {
 func BenchmarkFig4Scheduling(b *testing.B) {
 	var f bench.Fig4
 	for i := 0; i < b.N; i++ {
-		f = bench.RunFig4(6, 4)
+		f = bench.RunFig4(nil, 6, 4)
 	}
 	last := f.Points[len(f.Points)-1]
 	b.ReportMetric(last.ASH, "us-ash-6procs")
@@ -106,7 +106,7 @@ func BenchmarkFig4Scheduling(b *testing.B) {
 func BenchmarkSandboxOverhead(b *testing.B) {
 	var r bench.SandboxResult
 	for i := 0; i < b.N; i++ {
-		r = bench.RunSandbox()
+		r = bench.RunSandbox(nil)
 	}
 	b.ReportMetric(float64(r.SpecificInsns), "insns-handcrafted")
 	b.ReportMetric(float64(r.SpecificSandboxInsns), "insns-sandboxed")
@@ -117,7 +117,7 @@ func BenchmarkSandboxOverhead(b *testing.B) {
 func BenchmarkDPFvsInterpreter(b *testing.B) {
 	var r bench.DPFResult
 	for i := 0; i < b.N; i++ {
-		r = bench.RunDPF()
+		r = bench.RunDPF(nil)
 	}
 	n := len(r.Filters) - 1
 	b.ReportMetric(r.Trie[n], "us-dpf-64filters")

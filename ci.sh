@@ -43,6 +43,26 @@ if ! cmp -s "$tracedir/a.json" "$tracedir/b.json"; then
     exit 1
 fi
 
+# Parallel runner determinism: the full suite at -parallel=1 (serial
+# reference) and at one-worker-per-CPU must print byte-identical stdout.
+# Wall-time and trace summaries go to stderr, so cmp sees results only.
+echo "== serial vs parallel ashbench (byte-identical stdout)"
+go build -o "$tracedir/ashbench" ./cmd/ashbench
+"$tracedir/ashbench" -parallel 1 >"$tracedir/serial.txt" 2>/dev/null
+"$tracedir/ashbench" >"$tracedir/parallel.txt" 2>/dev/null
+if ! cmp -s "$tracedir/serial.txt" "$tracedir/parallel.txt"; then
+    echo "ashbench output differs between -parallel=1 and the default pool"
+    diff "$tracedir/serial.txt" "$tracedir/parallel.txt" | head -40
+    exit 1
+fi
+
+# Bench runner suite by name under the race detector: the worker pool,
+# the parallel chaos matrix, and the golden determinism test. Covered by
+# the package sweep above, but attributable when it regresses.
+echo "== bench runner determinism under -race"
+go test -race -count=1 ./internal/bench/runner/
+go test -race -count=1 -run 'TestParallelByteIdentical|TestParallelChaosMatchesSerial' ./internal/bench/
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck"
     staticcheck ./...

@@ -4,28 +4,24 @@
 //
 // Usage:
 //
-//	ashbench                     # everything (full workloads; ~a minute)
+//	ashbench                     # everything (full workloads)
 //	ashbench -experiment table5  # one experiment
 //	ashbench -quick              # reduced workloads
+//	ashbench -parallel 1         # serial reference execution
 //	ashbench -experiment breakdown -trace out.json
 //
-// Experiments: table1, fig3, table2, table3, table4, table5, table6,
-// fig4, sandbox, dpf, ablation, lint, chaos, breakdown.
+// The experiment list, run order, and per-experiment help all come from
+// the bench registry (bench.Experiments) — run with -experiment help to
+// print it. Every experiment decomposes into independent cells (one
+// simulated world each) executed on a worker pool; -parallel bounds the
+// pool and defaults to one worker per CPU. Results merge in cell-index
+// order, so the printed tables and any -trace file are byte-identical at
+// every parallelism level (CI asserts this); only wall time changes.
 //
-// The breakdown experiment (not a paper table) re-runs the Table I/V/VI
-// latency workloads with the observability plane attached and prints a
-// per-phase cycle decomposition of each measurement window. -trace works
-// with every experiment: it attaches a tracing plane to each testbed
-// built and writes all of them as one Chrome trace_event JSON file (open
-// in Perfetto or chrome://tracing). Tracing charges no simulated cycles,
-// so traced results are identical to untraced ones, and the file is
-// byte-identical across runs of the same workload (CI asserts this).
-//
-// The chaos experiment is not from the paper: it soaks the messaging path
-// under the deterministic fault plane (internal/fault) — wire loss,
-// corruption, duplication, reordering, delay, device-level drops and
-// truncation, and forced handler aborts — and reports delivery integrity
-// plus recovery counters for every (schedule, seed) cell.
+// -trace works with every experiment: it attaches a tracing plane to each
+// testbed built and writes all of them as one Chrome trace_event JSON
+// file (open in Perfetto or chrome://tracing). Tracing charges no
+// simulated cycles, so traced results are identical to untraced ones.
 package main
 
 import (
@@ -41,110 +37,55 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "which experiment to run (comma-separated): table1..table6, fig3, fig4, sandbox, dpf, ablation, lint, chaos, breakdown, all")
-		quick = flag.Bool("quick", false, "reduced workload sizes (faster, slightly noisier throughput)")
-		trace = flag.String("trace", "", "write a Chrome trace_event JSON file covering every testbed built")
+		exp      = flag.String("experiment", "all", "which experiments to run (comma-separated; 'help' lists them), or all")
+		quick    = flag.Bool("quick", false, "reduced workload sizes (faster, slightly noisier throughput)")
+		parallel = flag.Int("parallel", 0, "worker pool size for experiment cells (<1: one per CPU); output is identical at any value")
+		trace    = flag.String("trace", "", "write a Chrome trace_event JSON file covering every testbed built")
 	)
 	flag.Parse()
 
-	var planes []*obs.Plane
-	if *trace != "" {
-		bench.Observe = func(tb *bench.Testbed) {
-			pl := obs.New(float64(tb.Prof.MHz))
-			tb.AttachObs(pl)
-			planes = append(planes, pl)
-		}
-	}
-
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
-	all := want["all"]
-	ran := 0
-	run := func(name string, fn func()) {
-		if !all && !want[name] {
+	names := strings.Split(*exp, ",")
+	for _, n := range names {
+		if strings.TrimSpace(n) == "help" {
+			for _, e := range bench.Experiments() {
+				fmt.Printf("  %-10s %s\n", e.Name, e.Help)
+			}
 			return
 		}
-		ran++
-		start := time.Now()
-		fn()
-		fmt.Printf("  [%s ran in %.1fs wall]\n\n", name, time.Since(start).Seconds())
+	}
+	selected, unknown := bench.FindExperiments(names)
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment(s): %s (known: %s, all)\n",
+			strings.Join(unknown, ", "), strings.Join(bench.ExperimentNames(), ", "))
+		os.Exit(2)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments selected\n")
+		os.Exit(2)
+	}
+
+	cfg := &bench.Config{Quick: *quick, Parallel: *parallel}
+	if *trace != "" {
+		cfg.Obs = func(tb *bench.Testbed) *obs.Plane {
+			return obs.New(float64(tb.Prof.MHz))
+		}
 	}
 
 	fmt.Println("ASHs: Application-Specific Handlers for High-Performance Messaging")
 	fmt.Println("reproduction of the SIGCOMM'96 / ToN'97 evaluation on the simulated testbed")
 	fmt.Println()
 
-	run("table1", func() {
-		fmt.Print(bench.RunTable1(10).Table().Render())
-	})
-	run("fig3", func() {
-		pkts := 64
-		if *quick {
-			pkts = 24
-		}
-		fmt.Print(bench.RunFig3(pkts).Render())
-	})
-	run("table2", func() {
-		p := bench.DefaultTable2Params()
-		if *quick {
-			p.TCPBytes = 2 << 20
-			p.UDPTrains = 10
-		}
-		fmt.Print(bench.RunTable2(p).Table().Render())
-	})
-	run("table3", func() {
-		fmt.Print(bench.RunTable3().Table().Render())
-	})
-	run("table4", func() {
-		fmt.Print(bench.RunTable4().Table().Render())
-	})
-	run("table5", func() {
-		fmt.Print(bench.RunTable5(10).Table().Render())
-	})
-	run("table6", func() {
-		p := bench.DefaultTable6Params()
-		if *quick {
-			p.TCPBytes = 2 << 20
-		}
-		fmt.Print(bench.RunTable6(p).Table().Render())
-	})
-	run("fig4", func() {
-		iters := 8
-		if *quick {
-			iters = 4
-		}
-		fmt.Print(bench.RunFig4(10, iters).Render())
-	})
-	run("sandbox", func() {
-		fmt.Print(bench.RunSandbox().Table().Render())
-	})
-	run("dpf", func() {
-		fmt.Print(bench.RunDPF().Table().Render())
-	})
-	run("ablation", func() {
-		fmt.Print(bench.RunAblation().Table().Render())
-	})
-	run("lint", func() {
-		fmt.Print(bench.RunLint())
-	})
-	run("chaos", func() {
-		p := bench.DefaultChaosParams()
-		if *quick {
-			p = bench.QuickChaosParams()
-		}
-		fmt.Print(bench.RenderChaos(bench.RunChaos(p)))
-	})
-	run("breakdown", func() {
-		fmt.Print(bench.RunBreakdown(10).Render())
-	})
-
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	start := time.Now()
+	for _, out := range bench.RunExperiments(cfg, selected) {
+		fmt.Print(out.Text)
+		fmt.Println()
 	}
+	// Wall time goes to stderr: stdout must stay byte-identical across
+	// runs and parallelism levels.
+	fmt.Fprintf(os.Stderr, "[%d experiment(s) ran in %.1fs wall]\n", len(selected), time.Since(start).Seconds())
+
 	if *trace != "" {
+		planes := cfg.Planes()
 		if err := os.WriteFile(*trace, obs.WriteTrace(planes...), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
 			os.Exit(1)
@@ -153,6 +94,6 @@ func main() {
 		for _, pl := range planes {
 			n += pl.Events()
 		}
-		fmt.Printf("wrote %s: %d events across %d testbeds\n", *trace, n, len(planes))
+		fmt.Fprintf(os.Stderr, "wrote %s: %d events across %d testbeds\n", *trace, n, len(planes))
 	}
 }

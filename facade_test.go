@@ -1,0 +1,95 @@
+package ashs_test
+
+import (
+	"testing"
+
+	"ashs"
+)
+
+// echoRoundTrip runs the quickstart echo workload (download a handler on
+// host 2, ping it from host 1) on an AN2 world and returns the echoed
+// payload plus the simulated completion time — a value deterministic in
+// the world's construction, so two equivalently built worlds must agree
+// exactly.
+func echoRoundTrip(t *testing.T, w *ashs.World) ([]byte, ashs.Time) {
+	t.Helper()
+	const vc = 7
+	app := w.Host2.Spawn("app", func(p *ashs.Process) {})
+	b := ashs.NewCodeBuilder("echo")
+	msg, n := b.Temp(), b.Temp()
+	b.Mov(msg, ashs.RArg0)
+	b.Mov(n, ashs.RArg1)
+	b.MovI(ashs.RArg0, int32(w.AN2Host1.Addr()))
+	b.MovI(ashs.RArg1, vc)
+	b.Mov(ashs.RArg2, msg)
+	b.Mov(ashs.RArg3, n)
+	b.Call("ash_send")
+	b.MovI(ashs.RRet, 0)
+	b.Ret()
+	ash, err := w.ASH2.Download(app, b.MustAssemble(), ashs.ASHOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding, err := w.AN2Host2.BindVC(app, vc, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ash.AttachVC(binding)
+
+	var got []byte
+	w.Host1.Spawn("client", func(p *ashs.Process) {
+		ep := w.IPStackAN2(p, 1, vc).Ep
+		ep.Send(ashs.LinkAddr{Port: w.AN2Host2.Addr(), VC: vc}, []byte{1, 2, 3, 4})
+		f := ep.Recv(true)
+		got = make([]byte, f.Len())
+		f.Bytes(got, 0, f.Len())
+		ep.Release(f)
+	})
+	w.Run()
+	return got, w.Eng.Now()
+}
+
+// TestNewWorldMatchesDeprecatedConstructors is the facade-equivalence
+// check: the options API must build worlds indistinguishable from the
+// deprecated constructors, measured by a real workload's simulated time.
+func TestNewWorldMatchesDeprecatedConstructors(t *testing.T) {
+	oldGot, oldDone := echoRoundTrip(t, ashs.NewAN2World())
+	newGot, newDone := echoRoundTrip(t, ashs.NewWorld())
+	if string(oldGot) != string(newGot) || oldDone != newDone {
+		t.Fatalf("NewWorld() diverged from NewAN2World(): payload %v vs %v, done %d vs %d",
+			oldGot, newGot, oldDone, newDone)
+	}
+
+	oldEth := ashs.NewEthernetWorld()
+	newEth := ashs.NewWorld(ashs.WithEthernet())
+	if oldEth.EthHost1 == nil || newEth.EthHost1 == nil ||
+		(oldEth.AN2Host1 == nil) != (newEth.AN2Host1 == nil) {
+		t.Fatal("WithEthernet() world shape differs from NewEthernetWorld()")
+	}
+}
+
+// TestWorldOptionOrderInsensitive checks the fix for the old
+// AttachObs/AttachFaultPlane ordering hazard: with NewWorld the obs plane
+// sees the fault plane's counters no matter how the options are listed.
+func TestWorldOptionOrderInsensitive(t *testing.T) {
+	sched := ashs.CannedSchedules()[0]
+	run := func(opts ...ashs.WorldOption) (*ashs.ObsPlane, ashs.Time) {
+		w := ashs.NewWorld(opts...)
+		if w.Obs == nil || w.Fault == nil {
+			t.Fatal("options did not populate World.Obs / World.Fault")
+		}
+		_, done := echoRoundTrip(t, w)
+		return w.Obs, done
+	}
+	plA, doneA := run(ashs.WithObs(ashs.NewObsPlane()), ashs.WithFaultPlane(1, sched))
+	plB, doneB := run(ashs.WithFaultPlane(1, sched), ashs.WithObs(ashs.NewObsPlane()))
+	if doneA != doneB {
+		t.Fatalf("option order changed simulated time: %d vs %d", doneA, doneB)
+	}
+	if plA.Events() != plB.Events() {
+		t.Fatalf("option order changed traced events: %d vs %d", plA.Events(), plB.Events())
+	}
+	if plA.Events() == 0 {
+		t.Fatal("obs plane recorded nothing")
+	}
+}

@@ -26,39 +26,73 @@ type AblationResult struct {
 	Us        []float64 // trusted-write handler path time per invocation
 }
 
-// RunAblation regenerates the safety-strategy comparison.
-func RunAblation() AblationResult {
-	r := AblationResult{}
-	add := func(label string, pol *sandbox.Policy, unsafe bool) {
-		insns, us := ablationRun(ablationWrite, pol, unsafe)
-		loop, _ := ablationRun(ablationRecord, pol, unsafe)
-		r.Labels = append(r.Labels, label)
-		r.Insns = append(r.Insns, insns)
-		r.LoopInsns = append(r.LoopInsns, loop)
-		r.Us = append(r.Us, us)
-	}
-
-	add("unsafe (no protection)", nil, true)
-
-	add("MIPS SFI + watchdog timer", sandbox.DefaultPolicy(), false)
-
+// ablationPolicies enumerates the compared safety strategies in render
+// order.
+func ablationPolicies() []struct {
+	label  string
+	pol    *sandbox.Policy
+	unsafe bool
+} {
 	mipsTimerOpt := sandbox.DefaultPolicy()
 	mipsTimerOpt.Optimize = true
-	add("MIPS SFI + watchdog timer (optimized)", mipsTimerOpt, false)
-
 	mipsSoft := sandbox.DefaultPolicy()
 	mipsSoft.Budget = sandbox.BudgetSoftware
-	add("MIPS SFI + software budget", mipsSoft, false)
-
 	mipsSoftOpt := sandbox.DefaultPolicy()
 	mipsSoftOpt.Budget = sandbox.BudgetSoftware
 	mipsSoftOpt.Optimize = true
-	add("MIPS SFI + software budget (optimized)", mipsSoftOpt, false)
-
 	x86 := sandbox.DefaultPolicy()
 	x86.Hardware = sandbox.HardwareX86
-	add("x86 segmentation", x86, false)
+	return []struct {
+		label  string
+		pol    *sandbox.Policy
+		unsafe bool
+	}{
+		{"unsafe (no protection)", nil, true},
+		{"MIPS SFI + watchdog timer", sandbox.DefaultPolicy(), false},
+		{"MIPS SFI + watchdog timer (optimized)", mipsTimerOpt, false},
+		{"MIPS SFI + software budget", mipsSoft, false},
+		{"MIPS SFI + software budget (optimized)", mipsSoftOpt, false},
+		{"x86 segmentation", x86, false},
+	}
+}
+
+// ablationCell is what one policy's cell measures: both handlers under one
+// safety strategy.
+type ablationCell struct {
+	insns, loop int64
+	us          float64
+}
+
+// ablationCells enumerates one cell per safety strategy.
+func ablationCells() []Cell {
+	pols := ablationPolicies()
+	cells := make([]Cell, len(pols))
+	for i, pc := range pols {
+		pc := pc
+		cells[i] = Cell{"ablation/" + pc.label, func(cfg *Config) any {
+			insns, us := ablationRun(cfg, ablationWrite, pc.pol, pc.unsafe)
+			loop, _ := ablationRun(cfg, ablationRecord, pc.pol, pc.unsafe)
+			return ablationCell{insns: insns, loop: loop, us: us}
+		}}
+	}
+	return cells
+}
+
+func mergeAblation(vs []any) AblationResult {
+	r := AblationResult{}
+	for i, pc := range ablationPolicies() {
+		c := vs[i].(ablationCell)
+		r.Labels = append(r.Labels, pc.label)
+		r.Insns = append(r.Insns, c.insns)
+		r.LoopInsns = append(r.LoopInsns, c.loop)
+		r.Us = append(r.Us, c.us)
+	}
 	return r
+}
+
+// RunAblation regenerates the safety-strategy comparison.
+func RunAblation(cfg *Config) AblationResult {
+	return mergeAblation(runCells(cfg, ablationCells()))
 }
 
 // ablationHandler selects which library handler an ablation run measures.
@@ -71,8 +105,8 @@ const (
 
 // ablationRun executes a handler once under a policy and returns
 // (dynamic instructions, path microseconds).
-func ablationRun(h ablationHandler, pol *sandbox.Policy, unsafe bool) (int64, float64) {
-	tb := NewAN2Testbed()
+func ablationRun(cfg *Config, h ablationHandler, pol *sandbox.Policy, unsafe bool) (int64, float64) {
+	tb := NewAN2Testbed(cfg)
 	if pol != nil {
 		tb.Sys2.Policy = pol
 	}

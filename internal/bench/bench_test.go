@@ -18,14 +18,14 @@ func within(t *testing.T, name string, got, want, tol float64) {
 }
 
 func TestTable1MatchesPaper(t *testing.T) {
-	r := RunTable1(10)
+	r := RunTable1(nil, 10)
 	within(t, "in-kernel AN2", r.InKernelAN2, PaperTable1.InKernelAN2, 0.05)
 	within(t, "user-level AN2", r.UserAN2, PaperTable1.UserAN2, 0.05)
 	within(t, "Ethernet", r.Ethernet, PaperTable1.Ethernet, 0.05)
 }
 
 func TestFig3Shape(t *testing.T) {
-	f := RunFig3(48)
+	f := RunFig3(nil, 48)
 	// Monotone non-decreasing with size; approaches the 16.8 MB/s ceiling.
 	for i := 1; i < len(f.Points); i++ {
 		if f.Points[i].MBps+0.01 < f.Points[i-1].MBps {
@@ -39,7 +39,7 @@ func TestFig3Shape(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	p := Table2Params{LatIters: 8, UDPTrains: 10, TCPBytes: 2 << 20}
-	r := RunTable2(p)
+	r := RunTable2(nil, p)
 	rows := r.Rows
 
 	// Latencies within 10% of the paper across the AN2 rows.
@@ -70,7 +70,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3MatchesPaper(t *testing.T) {
-	r := RunTable3()
+	r := RunTable3(nil)
 	within(t, "single copy", r.SingleCopy, PaperTable3.SingleCopy, 0.05)
 	// The paper's claims: a second copy degrades throughput by ~1.4x
 	// cached and ~2x uncached.
@@ -85,7 +85,7 @@ func TestTable3MatchesPaper(t *testing.T) {
 }
 
 func TestTable4MatchesPaper(t *testing.T) {
-	r := RunTable4()
+	r := RunTable4(nil)
 	for i, label := range []string{"copy&cksum", "copy&cksum&bswap"} {
 		within(t, "separate "+label, r.Separate[i], PaperTable4.Separate[i], 0.12)
 		within(t, "separate/uncached "+label, r.SeparateUncached[i], PaperTable4.SeparateUncached[i], 0.18)
@@ -104,7 +104,7 @@ func TestTable4MatchesPaper(t *testing.T) {
 }
 
 func TestTable5MatchesPaper(t *testing.T) {
-	r := RunTable5(8)
+	r := RunTable5(nil, 8)
 	for m := MechUnsafeASH; m <= MechUserLevel; m++ {
 		within(t, mechNames[m]+" polling", r.Polling[m], PaperTable5.Polling[m], 0.06)
 		within(t, mechNames[m]+" suspended", r.Suspended[m], PaperTable5.Suspended[m], 0.06)
@@ -130,7 +130,7 @@ func TestTable5MatchesPaper(t *testing.T) {
 
 func TestTable6Shape(t *testing.T) {
 	p := Table6Params{LatIters: 8, TCPBytes: 2 << 20}
-	r := RunTable6(p)
+	r := RunTable6(nil, p)
 	const (
 		sandboxed = 0
 		unsafe    = 1
@@ -164,7 +164,7 @@ func TestTable6Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	f := RunFig4(6, 4)
+	f := RunFig4(nil, 6, 4)
 	first, last := f.Points[0], f.Points[len(f.Points)-1]
 	// ASH: flat.
 	if math.Abs(last.ASH-first.ASH) > 10 {
@@ -193,7 +193,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestSandboxMatchesPaper(t *testing.T) {
-	r := RunSandbox()
+	r := RunSandbox(nil)
 	if r.SpecificInsns < 7 || r.SpecificInsns > 13 {
 		t.Errorf("hand-crafted specific = %d insns, paper ~10", r.SpecificInsns)
 	}
@@ -231,7 +231,7 @@ func TestSandboxMatchesPaper(t *testing.T) {
 }
 
 func TestDPFOrderOfMagnitude(t *testing.T) {
-	r := RunDPF()
+	r := RunDPF(nil)
 	n := len(r.Filters) - 1
 	if r.Linear[n]/r.Trie[n] < 10 {
 		t.Errorf("DPF advantage at %d filters = %.1fx, paper: order of magnitude",
@@ -245,12 +245,12 @@ func TestDPFOrderOfMagnitude(t *testing.T) {
 func TestRenderersProduceTables(t *testing.T) {
 	// Smoke-test every renderer (cheap parameter sets).
 	outs := []string{
-		RunTable1(4).Table().Render(),
-		RunTable3().Table().Render(),
-		RunTable4().Table().Render(),
-		RunSandbox().Table().Render(),
-		RunDPF().Table().Render(),
-		RunFig3(8).Render(),
+		RunTable1(nil, 4).Table().Render(),
+		RunTable3(nil).Table().Render(),
+		RunTable4(nil).Table().Render(),
+		RunSandbox(nil).Table().Render(),
+		RunDPF(nil).Table().Render(),
+		RunFig3(nil, 8).Render(),
 	}
 	for i, s := range outs {
 		if len(s) < 80 || !strings.Contains(s, "\n") {
@@ -260,7 +260,7 @@ func TestRenderersProduceTables(t *testing.T) {
 }
 
 func TestAblationOrdering(t *testing.T) {
-	r := RunAblation()
+	r := RunAblation(nil)
 	// unsafe < x86 <= timer < software-budget in instruction count.
 	byLabel := map[string]int{}
 	for i, l := range r.Labels {

@@ -68,49 +68,78 @@ type Breakdown struct {
 	Rows  []BreakdownRow
 }
 
-// RunBreakdown traces the latency workloads of Tables I, V and VI.
-func RunBreakdown(iters int) *Breakdown {
-	specs := []struct {
+// breakdownSpecs enumerates the traced latency workloads in render order.
+func breakdownSpecs(iters int) []struct {
+	label string
+	paper float64
+	run   func(cfg *Config, o *obsRun) float64
+} {
+	return []struct {
 		label string
 		paper float64
-		run   func(o *obsRun) float64
+		run   func(cfg *Config, o *obsRun) float64
 	}{
 		{"Table I: in-kernel AN2", PaperTable1.InKernelAN2,
-			func(o *obsRun) float64 { return inKernelAN2RT(iters, o) }},
+			func(cfg *Config, o *obsRun) float64 { return inKernelAN2RT(cfg, iters, o) }},
 		{"Table I: user-level AN2", PaperTable1.UserAN2,
-			func(o *obsRun) float64 { return userAN2RT(iters, o) }},
+			func(cfg *Config, o *obsRun) float64 { return userAN2RT(cfg, iters, o) }},
 		{"Table I: Ethernet", PaperTable1.Ethernet,
-			func(o *obsRun) float64 { return ethernetRT(iters, o) }},
+			func(cfg *Config, o *obsRun) float64 { return ethernetRT(cfg, iters, o) }},
 		{"Table V: sandboxed ASH (polling)", PaperTable5.Polling[MechSandboxedASH],
-			func(o *obsRun) float64 { return remoteIncrementRT(MechSandboxedASH, false, iters, o) }},
+			func(cfg *Config, o *obsRun) float64 {
+				return remoteIncrementRT(cfg, MechSandboxedASH, false, iters, o)
+			}},
 		{"Table V: user-level (polling)", PaperTable5.Polling[MechUserLevel],
-			func(o *obsRun) float64 { return remoteIncrementRT(MechUserLevel, false, iters, o) }},
+			func(cfg *Config, o *obsRun) float64 {
+				return remoteIncrementRT(cfg, MechUserLevel, false, iters, o)
+			}},
 		{"Table VI: TCP latency, sandboxed ASH", PaperTable6.Latency[0],
-			func(o *obsRun) float64 { return table6Latency(table6Modes[0], iters, o) }},
+			func(cfg *Config, o *obsRun) float64 { return table6Latency(cfg, table6Modes[0], iters, o) }},
 		{"Table VI: TCP latency, user (polling)", PaperTable6.Latency[4],
-			func(o *obsRun) float64 { return table6Latency(table6Modes[4], iters, o) }},
+			func(cfg *Config, o *obsRun) float64 { return table6Latency(cfg, table6Modes[4], iters, o) }},
 	}
+}
+
+// breakdownCells enumerates one cell per traced workload.
+func breakdownCells(iters int) []Cell {
+	specs := breakdownSpecs(iters)
+	cells := make([]Cell, len(specs))
+	for i, s := range specs {
+		s := s
+		cells[i] = Cell{"breakdown/" + s.label, func(cfg *Config) any {
+			o := &obsRun{}
+			meas := s.run(cfg, o)
+			total := o.end - o.start
+			byCat := o.plane.PhaseCycles(o.start, o.end)
+			var phases []BreakdownPhase
+			var sum sim.Time
+			for _, name := range phaseOrder {
+				c := byCat[name]
+				sum += c
+				phases = append(phases, BreakdownPhase{name, c})
+			}
+			// Residual by construction: the row always sums to the window.
+			phases = append(phases, BreakdownPhase{"wait/other", total - sum})
+			return BreakdownRow{
+				Label: s.label, PaperUs: s.paper, MeasuredUs: meas,
+				Iters: iters, Total: total, Phases: phases, Plane: o.plane,
+			}
+		}}
+	}
+	return cells
+}
+
+func mergeBreakdown(iters int, vs []any) *Breakdown {
 	b := &Breakdown{Iters: iters}
-	for _, s := range specs {
-		o := &obsRun{}
-		meas := s.run(o)
-		total := o.end - o.start
-		byCat := o.plane.PhaseCycles(o.start, o.end)
-		var phases []BreakdownPhase
-		var sum sim.Time
-		for _, name := range phaseOrder {
-			c := byCat[name]
-			sum += c
-			phases = append(phases, BreakdownPhase{name, c})
-		}
-		// Residual by construction: the row always sums to the window.
-		phases = append(phases, BreakdownPhase{"wait/other", total - sum})
-		b.Rows = append(b.Rows, BreakdownRow{
-			Label: s.label, PaperUs: s.paper, MeasuredUs: meas,
-			Iters: iters, Total: total, Phases: phases, Plane: o.plane,
-		})
+	for _, v := range vs {
+		b.Rows = append(b.Rows, v.(BreakdownRow))
 	}
 	return b
+}
+
+// RunBreakdown traces the latency workloads of Tables I, V and VI.
+func RunBreakdown(cfg *Config, iters int) *Breakdown {
+	return mergeBreakdown(iters, runCells(cfg, breakdownCells(iters)))
 }
 
 // Render produces the per-phase cost tables.

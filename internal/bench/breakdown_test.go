@@ -14,7 +14,7 @@ import (
 // (tracing charges no simulated cycles).
 func TestBreakdownPhasesSumToWindow(t *testing.T) {
 	const iters = 4
-	b := RunBreakdown(iters)
+	b := RunBreakdown(nil, iters)
 	if len(b.Rows) == 0 {
 		t.Fatal("no rows")
 	}
@@ -34,7 +34,7 @@ func TestBreakdownPhasesSumToWindow(t *testing.T) {
 		}
 	}
 	// Traced == untraced for a representative row.
-	if got, want := b.Rows[0].MeasuredUs, inKernelAN2RT(iters, nil); got != want {
+	if got, want := b.Rows[0].MeasuredUs, inKernelAN2RT(nil, iters, nil); got != want {
 		t.Errorf("traced in-kernel RT %v != untraced %v", got, want)
 	}
 }
@@ -43,8 +43,8 @@ func TestBreakdownPhasesSumToWindow(t *testing.T) {
 // trace JSON — the determinism contract the CI gate enforces.
 func TestBreakdownTraceByteIdentical(t *testing.T) {
 	const iters = 3
-	a := obs.WriteTrace(RunBreakdown(iters).Planes()...)
-	b := obs.WriteTrace(RunBreakdown(iters).Planes()...)
+	a := obs.WriteTrace(RunBreakdown(nil, iters).Planes()...)
+	b := obs.WriteTrace(RunBreakdown(nil, iters).Planes()...)
 	if !bytes.Equal(a, b) {
 		t.Fatal("breakdown traces differ between identical runs")
 	}
@@ -55,7 +55,7 @@ func TestBreakdownTraceByteIdentical(t *testing.T) {
 
 // Render must include every phase row and the exact-total line.
 func TestBreakdownRender(t *testing.T) {
-	b := RunBreakdown(2)
+	b := RunBreakdown(nil, 2)
 	out := b.Render()
 	for _, want := range append(phaseOrder, "wait/other", "total", "paper") {
 		if !strings.Contains(out, want) {

@@ -68,13 +68,27 @@ type ChaosResult struct {
 	NFSResent         uint64 // NFS requests retried
 }
 
-// RunChaos executes the full matrix.
-func RunChaos(p ChaosParams) []ChaosResult {
-	var out []ChaosResult
+// chaosCells enumerates one cell per (schedule, seed) — the natural shard
+// of the soak matrix.
+func chaosCells(p ChaosParams) []Cell {
+	var cells []Cell
 	for _, sched := range p.Schedules {
+		sched := sched
 		for _, seed := range p.Seeds {
-			out = append(out, runChaosOne(seed, sched, p))
+			seed := seed
+			cells = append(cells, Cell{fmt.Sprintf("chaos/%s/seed%d", sched.Name, seed),
+				func(cfg *Config) any { return runChaosOne(cfg, seed, sched, p) }})
 		}
+	}
+	return cells
+}
+
+// RunChaos executes the full matrix.
+func RunChaos(cfg *Config, p ChaosParams) []ChaosResult {
+	vs := runCells(cfg, chaosCells(p))
+	out := make([]ChaosResult, len(vs))
+	for i, v := range vs {
+		out[i] = v.(ChaosResult)
 	}
 	return out
 }
@@ -86,8 +100,8 @@ func chaosPattern(i int) byte { return byte((i*31 + 7) ^ (i >> 8)) }
 // with the fault plane attached at every layer, a TCP bulk transfer on
 // VC 7 (ASH fast path on both ends), and an NFS session on VC 5 — both
 // must finish with byte-verified payloads despite the schedule.
-func runChaosOne(seed int64, sched fault.Schedule, p ChaosParams) ChaosResult {
-	tb := NewAN2Testbed()
+func runChaosOne(cfg *Config, seed int64, sched fault.Schedule, p ChaosParams) ChaosResult {
+	tb := NewAN2Testbed(cfg)
 	pl := fault.New(seed, sched)
 	pl.AttachWire(tb.Sw)
 	pl.AttachAN2(tb.A1)
@@ -99,7 +113,7 @@ func runChaosOne(seed int64, sched fault.Schedule, p ChaosParams) ChaosResult {
 
 	res := ChaosResult{Schedule: sched.Name, Seed: seed}
 
-	cfg := func(host int) tcp.Config {
+	tcpCfg := func(host int) tcp.Config {
 		c := tcp.DefaultConfig()
 		c.Mode = tcp.ModeASH
 		c.Checksum = true
@@ -118,7 +132,7 @@ func runChaosOne(seed int64, sched fault.Schedule, p ChaosParams) ChaosResult {
 	tcpSunk, tcpDone := 0, false
 	tcpVerified := true
 	tb.K2.Spawn("tcp-server", func(proc *aegis.Process) {
-		conn, err := tcp.Accept(tb.StackAN2(proc, 2, 7), cfg(2), 80)
+		conn, err := tcp.Accept(tb.StackAN2(proc, 2, 7), tcpCfg(2), 80)
 		if err != nil {
 			tcpDone = true
 			return
@@ -143,7 +157,7 @@ func runChaosOne(seed int64, sched fault.Schedule, p ChaosParams) ChaosResult {
 	})
 	var tcpStart, tcpEnd float64
 	tb.K1.Spawn("tcp-client", func(proc *aegis.Process) {
-		conn, err := tcp.Connect(tb.StackAN2(proc, 1, 7), cfg(1), 1234, tb.IP2, 80)
+		conn, err := tcp.Connect(tb.StackAN2(proc, 1, 7), tcpCfg(1), 1234, tb.IP2, 80)
 		if err != nil {
 			return
 		}

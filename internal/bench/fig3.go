@@ -28,18 +28,34 @@ const PaperFig3Max = 16.11
 // Fig3Sizes are the packet sizes swept.
 var Fig3Sizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
-// RunFig3 regenerates Fig. 3: a large train of packets of each size sent
-// from user level, throughput measured at the receiver.
-func RunFig3(pktsPerSize int) Fig3 {
+// fig3Cells enumerates one cell per packet size.
+func fig3Cells(pktsPerSize int) []Cell {
+	cells := make([]Cell, len(Fig3Sizes))
+	for i, size := range Fig3Sizes {
+		size := size
+		cells[i] = Cell{fmt.Sprintf("fig3/%dB", size), func(cfg *Config) any {
+			return fig3Throughput(cfg, size, pktsPerSize)
+		}}
+	}
+	return cells
+}
+
+func mergeFig3(vs []any) Fig3 {
 	var out Fig3
-	for _, size := range Fig3Sizes {
-		out.Points = append(out.Points, Fig3Point{size, fig3Throughput(size, pktsPerSize)})
+	for i, size := range Fig3Sizes {
+		out.Points = append(out.Points, Fig3Point{size, vs[i].(float64)})
 	}
 	return out
 }
 
-func fig3Throughput(size, count int) float64 {
-	tb := NewAN2Testbed()
+// RunFig3 regenerates Fig. 3: a large train of packets of each size sent
+// from user level, throughput measured at the receiver.
+func RunFig3(cfg *Config, pktsPerSize int) Fig3 {
+	return mergeFig3(runCells(cfg, fig3Cells(pktsPerSize)))
+}
+
+func fig3Throughput(cfg *Config, size, count int) float64 {
+	tb := NewAN2Testbed(cfg)
 	const vc = 5
 	var first, last sim.Time
 	got := 0

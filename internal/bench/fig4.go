@@ -26,24 +26,43 @@ type Fig4 struct {
 	Points []Fig4Point
 }
 
-// RunFig4 regenerates Fig. 4 for process counts 1..maxProcs.
-func RunFig4(maxProcs, iters int) Fig4 {
+// fig4Cells enumerates one cell per (process count, system).
+func fig4Cells(maxProcs, iters int) []Cell {
+	var cells []Cell
+	for n := 1; n <= maxProcs; n++ {
+		n := n
+		for _, system := range []string{"ash", "oblivious", "ultrix"} {
+			system := system
+			cells = append(cells, Cell{fmt.Sprintf("fig4/%d-procs/%s", n, system),
+				func(cfg *Config) any { return fig4RT(cfg, n, system, iters) }})
+		}
+	}
+	return cells
+}
+
+func mergeFig4(maxProcs int, vs []any) Fig4 {
 	var out Fig4
 	for n := 1; n <= maxProcs; n++ {
+		i := (n - 1) * 3
 		out.Points = append(out.Points, Fig4Point{
 			Procs:     n,
-			ASH:       fig4RT(n, "ash", iters),
-			Oblivious: fig4RT(n, "oblivious", iters),
-			Ultrix:    fig4RT(n, "ultrix", iters),
+			ASH:       vs[i].(float64),
+			Oblivious: vs[i+1].(float64),
+			Ultrix:    vs[i+2].(float64),
 		})
 	}
 	return out
 }
 
+// RunFig4 regenerates Fig. 4 for process counts 1..maxProcs.
+func RunFig4(cfg *Config, maxProcs, iters int) Fig4 {
+	return mergeFig4(maxProcs, runCells(cfg, fig4Cells(maxProcs, iters)))
+}
+
 // fig4RT measures the remote-increment RT with n processes active on the
 // server: the receiving application plus n-1 compute-bound competitors.
-func fig4RT(n int, system string, iters int) float64 {
-	tb := NewAN2Testbed()
+func fig4RT(cfg *Config, n int, system string, iters int) float64 {
+	tb := NewAN2Testbed(cfg)
 	const vc = 9
 	const warmup = 2
 

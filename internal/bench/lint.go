@@ -14,7 +14,17 @@ import (
 // a report. Handlers run on the paper's per-instruction-costed fast
 // path, so dead work and unbounded loops are worth flagging at
 // download time even when they are safe.
-func RunLint() string {
+func RunLint(cfg *Config) string {
+	return runCells(cfg, lintCells())[0].(string)
+}
+
+// lintCells wraps the lint pass as one cell (pure static analysis, no
+// testbed).
+func lintCells() []Cell {
+	return []Cell{{"lint", func(cfg *Config) any { return runLint() }}}
+}
+
+func runLint() string {
 	var b strings.Builder
 	b.WriteString("Handler lint: static-analysis findings over downloadable handler code\n")
 	progs := []*vcode.Program{

@@ -1,0 +1,88 @@
+// Package runner executes independent experiment cells on a bounded
+// worker pool with deterministic, index-ordered result merging.
+//
+// A Cell is one self-contained unit of experiment work: it builds its own
+// simulated world, runs one workload, and returns one result value. Cells
+// share no state, so any number of them can run concurrently; because
+// results are merged strictly in cell-index order, the rendered output of
+// a run is byte-identical whatever the worker count or completion order.
+//
+// The package is deliberately generic — it knows nothing about testbeds,
+// tables, or the bench package. bench builds its experiment registry on
+// top of these primitives.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Cell is one independent unit of work.
+type Cell struct {
+	// Label identifies the cell in diagnostics (panics, progress).
+	Label string
+	// Run executes the cell and returns its result. It must be
+	// self-contained: no shared mutable state with any other cell.
+	Run func() any
+}
+
+// DefaultParallelism is the worker count used when the caller does not
+// specify one: every available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Normalize maps a caller-supplied parallelism request to a worker count:
+// values below 1 select DefaultParallelism.
+func Normalize(parallel int) int {
+	if parallel < 1 {
+		return DefaultParallelism()
+	}
+	return parallel
+}
+
+// Run executes cells on at most parallel workers (parallel < 1 selects
+// DefaultParallelism) and returns their results indexed exactly like the
+// input. With one worker the cells run inline in index order — the serial
+// reference execution. A panic inside a cell is re-raised in the caller's
+// goroutine once all workers have drained; when several cells panic, the
+// lowest-indexed one is reported, so failures too are deterministic.
+func Run(parallel int, cells []Cell) []any {
+	results := make([]any, len(cells))
+	parallel = Normalize(parallel)
+	if parallel > len(cells) {
+		parallel = len(cells)
+	}
+	if parallel <= 1 {
+		for i, c := range cells {
+			results[i] = c.Run()
+		}
+		return results
+	}
+
+	panics := make([]any, len(cells))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(parallel)
+	for w := 0; w < parallel; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() { panics[i] = recover() }()
+					results[i] = cells[i].Run()
+				}()
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("runner: cell %q panicked: %v", cells[i].Label, p))
+		}
+	}
+	return results
+}

@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// indexCells returns n cells whose result is their own index, with a bit
+// of busywork so parallel workers genuinely interleave.
+func indexCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{
+			Label: fmt.Sprintf("cell%d", i),
+			Run: func() any {
+				s := 0
+				for k := 0; k < 1000*(n-i); k++ {
+					s += k
+				}
+				_ = s
+				return i
+			},
+		}
+	}
+	return cells
+}
+
+func TestRunMergesInIndexOrder(t *testing.T) {
+	for _, parallel := range []int{1, 2, 4, 8, 33} {
+		results := Run(parallel, indexCells(32))
+		if len(results) != 32 {
+			t.Fatalf("parallel=%d: got %d results", parallel, len(results))
+		}
+		for i, v := range results {
+			if v.(int) != i {
+				t.Fatalf("parallel=%d: results[%d] = %v", parallel, i, v)
+			}
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	def := DefaultParallelism()
+	if def < 1 {
+		t.Fatalf("DefaultParallelism = %d", def)
+	}
+	for _, req := range []int{0, -1, -100} {
+		if got := Normalize(req); got != def {
+			t.Fatalf("Normalize(%d) = %d, want %d", req, got, def)
+		}
+	}
+	if got := Normalize(7); got != 7 {
+		t.Fatalf("Normalize(7) = %d", got)
+	}
+}
+
+func TestPanicReportsLowestIndexedCell(t *testing.T) {
+	cells := indexCells(16)
+	ran := make([]bool, len(cells))
+	for _, bad := range []int{11, 3, 7} {
+		bad := bad
+		inner := cells[bad].Run
+		cells[bad].Run = func() any {
+			inner()
+			panic(fmt.Sprintf("boom %d", bad))
+		}
+	}
+	for i := range cells {
+		i, inner := i, cells[i].Run
+		cells[i].Run = func() any { ran[i] = true; return inner() }
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic propagated")
+		}
+		msg := fmt.Sprint(p)
+		if !strings.Contains(msg, `"cell3"`) || !strings.Contains(msg, "boom 3") {
+			t.Fatalf("panic message %q does not report the lowest-indexed failing cell", msg)
+		}
+		for i, ok := range ran {
+			if !ok {
+				t.Fatalf("cell %d was never attempted", i)
+			}
+		}
+	}()
+	Run(4, cells)
+}
+
+func TestSerialPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("serial panic swallowed")
+		}
+	}()
+	Run(1, []Cell{{Label: "bad", Run: func() any { panic("x") }}})
+}

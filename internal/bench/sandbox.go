@@ -39,32 +39,57 @@ var PaperSandbox = SandboxResult{
 	AddedBySandbox: 28, Ratio40: 1.35, Ratio4096: 1.015,
 }
 
-// RunSandbox regenerates the Section V-D measurements, plus the
-// naive-vs-optimized sandbox ablation this reproduction adds.
-func RunSandbox() SandboxResult {
-	var r SandboxResult
+// sandboxCells enumerates every (handler, mode, size) measurement; the
+// merge step derives the reported deltas and ratios.
+func sandboxCells() []Cell {
+	write := func(label string, generic bool, mode sboxMode, nbytes int) Cell {
+		return Cell{"sandbox/" + label, func(cfg *Config) any {
+			return runWriteHandler(cfg, generic, mode, nbytes)
+		}}
+	}
+	record := func(label string, mode sboxMode) Cell {
+		return Cell{"sandbox/" + label, func(cfg *Config) any {
+			return runRecordHandler(cfg, mode)
+		}}
+	}
+	return []Cell{
+		write("generic-unsafe-40", true, sbUnsafe, 40),
+		write("specific-unsafe-40", false, sbUnsafe, 40),
+		write("specific-naive-40", false, sbNaive, 40),
+		write("specific-unsafe-4096", false, sbUnsafe, 4096),
+		write("specific-naive-4096", false, sbNaive, 4096),
+		write("generic-naive-40", true, sbNaive, 40),
+		write("generic-opt-40", true, sbOptimized, 40),
+		write("specific-opt-40", false, sbOptimized, 40),
+		record("record-unsafe", sbUnsafe),
+		record("record-naive", sbNaive),
+		record("record-opt", sbOptimized),
+	}
+}
 
-	// Instruction counts at 40 bytes.
-	r.GenericInsns = runWriteHandler(true, sbUnsafe, 40).insns
-	spec40u := runWriteHandler(false, sbUnsafe, 40)
-	spec40s := runWriteHandler(false, sbNaive, 40)
+func mergeSandbox(vs []any) SandboxResult {
+	run := func(i int) handlerRun { return vs[i].(handlerRun) }
+	var r SandboxResult
+	r.GenericInsns = run(0).insns
+	spec40u, spec40s := run(1), run(2)
 	r.SpecificInsns = spec40u.insns
 	r.SpecificSandboxInsns = spec40s.insns
 	r.AddedBySandbox = spec40s.insns - spec40u.insns
 	r.Ratio40 = float64(spec40s.cycles) / float64(spec40u.cycles)
-
-	spec4096u := runWriteHandler(false, sbUnsafe, 4096)
-	spec4096s := runWriteHandler(false, sbNaive, 4096)
-	r.Ratio4096 = float64(spec4096s.cycles) / float64(spec4096u.cycles)
-
-	// Optimizer ablation on the same handlers.
-	r.GenericSandboxInsns = runWriteHandler(true, sbNaive, 40).insns
-	r.GenericOptInsns = runWriteHandler(true, sbOptimized, 40).insns
-	r.SpecificOptInsns = runWriteHandler(false, sbOptimized, 40).insns
-	r.RecordInsns = runRecordHandler(sbUnsafe).insns
-	r.RecordSandboxInsns = runRecordHandler(sbNaive).insns
-	r.RecordOptInsns = runRecordHandler(sbOptimized).insns
+	r.Ratio4096 = float64(run(4).cycles) / float64(run(3).cycles)
+	r.GenericSandboxInsns = run(5).insns
+	r.GenericOptInsns = run(6).insns
+	r.SpecificOptInsns = run(7).insns
+	r.RecordInsns = run(8).insns
+	r.RecordSandboxInsns = run(9).insns
+	r.RecordOptInsns = run(10).insns
 	return r
+}
+
+// RunSandbox regenerates the Section V-D measurements, plus the
+// naive-vs-optimized sandbox ablation this reproduction adds.
+func RunSandbox(cfg *Config) SandboxResult {
+	return mergeSandbox(runCells(cfg, sandboxCells()))
 }
 
 type handlerRun struct {
@@ -89,8 +114,8 @@ func (m sboxMode) options() core.Options {
 // in isolation (Section V-D's methodology) and reports its dynamic
 // instruction count (excluding data copying, which runs through the
 // trusted engine) and total cycles.
-func runWriteHandler(generic bool, mode sboxMode, nbytes int) handlerRun {
-	tb := NewAN2Testbed()
+func runWriteHandler(cfg *Config, generic bool, mode sboxMode, nbytes int) handlerRun {
+	tb := NewAN2Testbed(cfg)
 	owner := tb.K2.Spawn("dsm-app", func(p *aegis.Process) {})
 	node := crl.NewNode(tb.Sys2, owner)
 	segID, seg, err := node.AddSegment(8192, "shared")
@@ -151,8 +176,8 @@ func runWriteHandler(generic bool, mode sboxMode, nbytes int) handlerRun {
 // runRecordHandler executes the fixed-record copy loop (the loop-shaped
 // variant of the Section V-D write) on a synthetic message and reports
 // its dynamic instruction count.
-func runRecordHandler(mode sboxMode) handlerRun {
-	tb := NewAN2Testbed()
+func runRecordHandler(cfg *Config, mode sboxMode) handlerRun {
+	tb := NewAN2Testbed(cfg)
 	owner := tb.K2.Spawn("dsm-app", func(p *aegis.Process) {})
 	node := crl.NewNode(tb.Sys2, owner)
 	_, seg, err := node.AddSegment(8192, "shared")
@@ -216,8 +241,18 @@ type DPFResult struct {
 }
 
 // RunDPF regenerates the comparison.
-func RunDPF() DPFResult {
-	prof := NewAN2Testbed().Prof
+func RunDPF(cfg *Config) DPFResult {
+	return runCells(cfg, dpfCells())[0].(DPFResult)
+}
+
+// dpfCells wraps the demux comparison as one cell: the engine runs are
+// microseconds of pure table walking, not worth sharding.
+func dpfCells() []Cell {
+	return []Cell{{"dpf", func(cfg *Config) any { return runDPF(cfg) }}}
+}
+
+func runDPF(cfg *Config) DPFResult {
+	prof := NewAN2Testbed(cfg).Prof
 	var r DPFResult
 	for _, n := range []int{1, 4, 16, 64} {
 		e := dpf.NewEngine()

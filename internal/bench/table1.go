@@ -18,20 +18,33 @@ type Table1 struct {
 // PaperTable1 is Table I of the paper.
 var PaperTable1 = Table1{InKernelAN2: 112, UserAN2: 182, Ethernet: 309}
 
-// RunTable1 regenerates Table I.
-func RunTable1(iters int) Table1 {
-	return Table1{
-		InKernelAN2: inKernelAN2RT(iters, nil),
-		UserAN2:     userAN2RT(iters, nil),
-		Ethernet:    ethernetRT(iters, nil),
+// table1Cells enumerates Table I's three independent measurements.
+func table1Cells(iters int) []Cell {
+	return []Cell{
+		{"table1/in-kernel", func(cfg *Config) any { return inKernelAN2RT(cfg, iters, nil) }},
+		{"table1/user-level", func(cfg *Config) any { return userAN2RT(cfg, iters, nil) }},
+		{"table1/ethernet", func(cfg *Config) any { return ethernetRT(cfg, iters, nil) }},
 	}
+}
+
+func mergeTable1(vs []any) Table1 {
+	return Table1{
+		InKernelAN2: vs[0].(float64),
+		UserAN2:     vs[1].(float64),
+		Ethernet:    vs[2].(float64),
+	}
+}
+
+// RunTable1 regenerates Table I.
+func RunTable1(cfg *Config, iters int) Table1 {
+	return mergeTable1(runCells(cfg, table1Cells(iters)))
 }
 
 // inKernelAN2RT measures the best in-kernel ping-pong: polled driver
 // endpoints replying directly from the kernel. A non-nil o attaches an
 // observability plane and records the measurement window for Breakdown.
-func inKernelAN2RT(iters int, o *obsRun) float64 {
-	tb := NewAN2Testbed()
+func inKernelAN2RT(cfg *Config, iters int, o *obsRun) float64 {
+	tb := NewAN2Testbed(cfg)
 	o.attach(tb)
 	const vc = 5
 	sb, err := tb.A2.BindVC(nil, vc, 8, 4096)
@@ -65,8 +78,8 @@ func inKernelAN2RT(iters int, o *obsRun) float64 {
 
 // userAN2RT measures the user-level ping-pong: polling processes using
 // the full system call interface.
-func userAN2RT(iters int, o *obsRun) float64 {
-	tb := NewAN2Testbed()
+func userAN2RT(cfg *Config, iters int, o *obsRun) float64 {
+	tb := NewAN2Testbed(cfg)
 	o.attach(tb)
 	const vc = 5
 	tb.K2.Spawn("echo", func(p *aegis.Process) {
@@ -102,8 +115,8 @@ func userAN2RT(iters int, o *obsRun) float64 {
 }
 
 // ethernetRT measures the user-level Ethernet ping-pong with DPF demux.
-func ethernetRT(iters int, o *obsRun) float64 {
-	tb := NewEthernetTestbed()
+func ethernetRT(cfg *Config, iters int, o *obsRun) float64 {
+	tb := NewEthernetTestbed(cfg)
 	o.attach(tb)
 	tagged := func(tag byte) *dpf.Filter { return dpf.NewFilter().Eq8(0, tag) }
 

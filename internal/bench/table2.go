@@ -49,10 +49,11 @@ func DefaultTable2Params() Table2Params {
 	return Table2Params{LatIters: 10, UDPTrains: 30, TCPBytes: 10 << 20}
 }
 
-// RunTable2 regenerates Table II.
-func RunTable2(p Table2Params) Table2 {
-	var t Table2
-	configs := []struct {
+// table2Cells enumerates one cell per (configuration, measurement): every
+// workload builds its own testbed, so all twenty run independently.
+func table2Cells(p Table2Params) []Cell {
+	var cells []Cell
+	an2 := []struct {
 		label          string
 		inplace, cksum bool
 	}{
@@ -61,23 +62,66 @@ func RunTable2(p Table2Params) Table2 {
 		{"AN2; no checksum", false, false},
 		{"AN2; with checksum", false, true},
 	}
-	for _, c := range configs {
+	for _, c := range an2 {
+		c := c
+		cells = append(cells,
+			Cell{"table2/" + c.label + "/udp-lat", func(cfg *Config) any {
+				return udpLatencyAN2(cfg, p.LatIters, c.inplace, c.cksum)
+			}},
+			Cell{"table2/" + c.label + "/udp-tput", func(cfg *Config) any {
+				return udpThroughputAN2(cfg, p.UDPTrains, c.inplace, c.cksum)
+			}},
+			Cell{"table2/" + c.label + "/tcp-lat", func(cfg *Config) any {
+				return tcpLatencyAN2(cfg, p.LatIters, c.inplace, c.cksum)
+			}},
+			Cell{"table2/" + c.label + "/tcp-tput", func(cfg *Config) any {
+				return tcpThroughputAN2(cfg, p.TCPBytes, c.inplace, c.cksum)
+			}},
+		)
+	}
+	cells = append(cells,
+		Cell{"table2/Ethernet; with checksum/udp-lat", func(cfg *Config) any {
+			return udpLatencyEth(cfg, p.LatIters)
+		}},
+		Cell{"table2/Ethernet; with checksum/udp-tput", func(cfg *Config) any {
+			return udpThroughputEth(cfg, p.UDPTrains)
+		}},
+		Cell{"table2/Ethernet; with checksum/tcp-lat", func(cfg *Config) any {
+			return tcpLatencyEth(cfg, p.LatIters)
+		}},
+		Cell{"table2/Ethernet; with checksum/tcp-tput", func(cfg *Config) any {
+			return tcpThroughputEth(cfg, p.TCPBytes/4) // Ethernet is ~1 MB/s; keep runtime sane
+		}},
+	)
+	return cells
+}
+
+// table2Labels is the row order of Table II.
+var table2Labels = []string{
+	"AN2; in place, no checksum",
+	"AN2; in place, with checksum",
+	"AN2; no checksum",
+	"AN2; with checksum",
+	"Ethernet; with checksum",
+}
+
+func mergeTable2(vs []any) Table2 {
+	var t Table2
+	for i, label := range table2Labels {
 		t.Rows = append(t.Rows, Table2Row{
-			Label:   c.label,
-			UDPLat:  udpLatencyAN2(p.LatIters, c.inplace, c.cksum),
-			UDPTput: udpThroughputAN2(p.UDPTrains, c.inplace, c.cksum),
-			TCPLat:  tcpLatencyAN2(p.LatIters, c.inplace, c.cksum),
-			TCPTput: tcpThroughputAN2(p.TCPBytes, c.inplace, c.cksum),
+			Label:   label,
+			UDPLat:  vs[4*i].(float64),
+			UDPTput: vs[4*i+1].(float64),
+			TCPLat:  vs[4*i+2].(float64),
+			TCPTput: vs[4*i+3].(float64),
 		})
 	}
-	t.Rows = append(t.Rows, Table2Row{
-		Label:   "Ethernet; with checksum",
-		UDPLat:  udpLatencyEth(p.LatIters),
-		UDPTput: udpThroughputEth(p.UDPTrains),
-		TCPLat:  tcpLatencyEth(p.LatIters),
-		TCPTput: tcpThroughputEth(p.TCPBytes / 4), // Ethernet is ~1 MB/s; keep runtime sane
-	})
 	return t
+}
+
+// RunTable2 regenerates Table II.
+func RunTable2(cfg *Config, p Table2Params) Table2 {
+	return mergeTable2(runCells(cfg, table2Cells(p)))
 }
 
 // --------------------------------------------------------------------
@@ -88,8 +132,8 @@ func udpOpts(inplace, cksum bool) udp.Options {
 	return udp.Options{InPlace: inplace, Checksum: cksum}
 }
 
-func udpLatencyAN2(iters int, inplace, cksum bool) float64 {
-	tb := NewAN2Testbed()
+func udpLatencyAN2(cfg *Config, iters int, inplace, cksum bool) float64 {
+	tb := NewAN2Testbed(cfg)
 	opts := udpOpts(inplace, cksum)
 	const warmup = 2
 	tb.K2.Spawn("server", func(p *aegis.Process) {
@@ -172,8 +216,8 @@ func udpTrain(tb *Testbed, mkSock func(p *aegis.Process, host int) *udp.Socket,
 	return tb.Prof.MBps(trains*perTrain*mss, total)
 }
 
-func udpThroughputAN2(trains int, inplace, cksum bool) float64 {
-	tb := NewAN2Testbed()
+func udpThroughputAN2(cfg *Config, trains int, inplace, cksum bool) float64 {
+	tb := NewAN2Testbed(cfg)
 	opts := udpOpts(inplace, cksum)
 	return udpTrain(tb, func(p *aegis.Process, host int) *udp.Socket {
 		port := uint16(1234)
@@ -201,8 +245,8 @@ func tcpCfgAN2(tb *Testbed, host int, inplace, cksum bool) tcp.Config {
 	return cfg
 }
 
-func tcpLatencyAN2(iters int, inplace, cksum bool) float64 {
-	tb := NewAN2Testbed()
+func tcpLatencyAN2(cfg *Config, iters int, inplace, cksum bool) float64 {
+	tb := NewAN2Testbed(cfg)
 	return tcpPingPong(tb, iters, nil,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.StackAN2(p, 2, 7), tcpCfgAN2(tb, 2, inplace, cksum), 80)
@@ -308,8 +352,8 @@ func tcpStream(tb *Testbed, totalBytes, writeSize int,
 	return tb.Prof.MBps(totalBytes, total)
 }
 
-func tcpThroughputAN2(totalBytes int, inplace, cksum bool) float64 {
-	tb := NewAN2Testbed()
+func tcpThroughputAN2(cfg *Config, totalBytes int, inplace, cksum bool) float64 {
+	tb := NewAN2Testbed(cfg)
 	return tcpStream(tb, totalBytes, 8192,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.StackAN2(p, 2, 7), tcpCfgAN2(tb, 2, inplace, cksum), 80)
@@ -356,8 +400,8 @@ func ipU32(a ip.Addr) uint32 {
 }
 
 // ethWorld prepares the Ethernet testbed with ARP daemons.
-func ethWorld() (*Testbed, *arp.Service, *arp.Service) {
-	tb := NewEthernetTestbed()
+func ethWorld(cfg *Config) (*Testbed, *arp.Service, *arp.Service) {
+	tb := NewEthernetTestbed(cfg)
 	s1, err := arp.Start(tb.K1, tb.E1, tb.IP1)
 	if err != nil {
 		panic(err)
@@ -377,8 +421,8 @@ const EthernetUDPPayload = 1472
 // quotes 1500; 1460 is what fits with headers).
 const EthernetTCPMSS = 1460
 
-func udpLatencyEth(iters int) float64 {
-	tb, s1, s2 := ethWorld()
+func udpLatencyEth(cfg *Config, iters int) float64 {
+	tb, s1, s2 := ethWorld(cfg)
 	opts := udp.Options{Checksum: true}
 	const warmup = 2
 	tb.K2.Spawn("server", func(p *aegis.Process) {
@@ -414,8 +458,8 @@ func udpLatencyEth(iters int) float64 {
 	return tb.Us(total) / float64(iters)
 }
 
-func udpThroughputEth(trains int) float64 {
-	tb, s1, s2 := ethWorld()
+func udpThroughputEth(cfg *Config, trains int) float64 {
+	tb, s1, s2 := ethWorld(cfg)
 	opts := udp.Options{Checksum: true}
 	return udpTrain(tb, func(p *aegis.Process, host int) *udp.Socket {
 		port := uint16(1234)
@@ -440,8 +484,8 @@ func tcpCfgEth(tb *Testbed, host int) tcp.Config {
 	return cfg
 }
 
-func tcpLatencyEth(iters int) float64 {
-	tb, s1, s2 := ethWorld()
+func tcpLatencyEth(cfg *Config, iters int) float64 {
+	tb, s1, s2 := ethWorld(cfg)
 	return tcpPingPong(tb, iters, nil,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.EthStack(p, 2, ip.ProtoTCP, 80, s2), tcpCfgEth(tb, 2), 80)
@@ -451,8 +495,8 @@ func tcpLatencyEth(iters int) float64 {
 		})
 }
 
-func tcpThroughputEth(totalBytes int) float64 {
-	tb, s1, s2 := ethWorld()
+func tcpThroughputEth(cfg *Config, totalBytes int) float64 {
+	tb, s1, s2 := ethWorld(cfg)
 	return tcpStream(tb, totalBytes, 8192,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.EthStack(p, 2, ip.ProtoTCP, 80, s2), tcpCfgEth(tb, 2), 80)
@@ -484,4 +528,4 @@ func (t Table2) Table() *Table {
 }
 
 // EthWorldDebug exposes the Ethernet world builder for diagnostics.
-func EthWorldDebug() (*Testbed, *arp.Service, *arp.Service) { return ethWorld() }
+func EthWorldDebug() (*Testbed, *arp.Service, *arp.Service) { return ethWorld(nil) }

@@ -45,11 +45,22 @@ func newMicroEnv() *microEnv {
 	return &microEnv{prof: prof, m: m, src: 0x10000, mid: 0x24000, dst: 0x38000}
 }
 
-// RunTable3 regenerates Table III. Each case starts with the message
+// table3Cells wraps the microbenchmark as a single cell: it is one short
+// pure-vcode run with no testbed to shard.
+func table3Cells() []Cell {
+	return []Cell{{"table3", func(cfg *Config) any { return runTable3() }}}
+}
+
+// RunTable3 regenerates Table III.
+func RunTable3(cfg *Config) Table3 {
+	return runCells(cfg, table3Cells())[0].(Table3)
+}
+
+// runTable3 performs the measurements. Each case starts with the message
 // uncached ("we assume that the message and its application-space
 // destination are not cached when the message arrives, and so perform
 // cache flushes at every iteration").
-func RunTable3() Table3 {
+func runTable3() Table3 {
 	copyEng := pipe.CompileCopy()
 	run := func(passes int, flushBetween bool) float64 {
 		env := newMicroEnv()
@@ -111,19 +122,43 @@ var PaperTable4 = Table4{
 	DILP:             [2]float64{17, 8.2},
 }
 
+// table4Cells enumerates one cell per (strategy, operation mix): each is an
+// independent micro-machine run.
+func table4Cells() []Cell {
+	var cells []Cell
+	for _, withBswap := range []bool{false, true} {
+		withBswap := withBswap
+		suffix := "cksum"
+		if withBswap {
+			suffix = "cksum+bswap"
+		}
+		cells = append(cells,
+			Cell{"table4/separate/" + suffix, func(cfg *Config) any { return table4Separate(withBswap, false) }},
+			Cell{"table4/separate-uncached/" + suffix, func(cfg *Config) any { return table4Separate(withBswap, true) }},
+			Cell{"table4/c-integrated/" + suffix, func(cfg *Config) any { return table4Hand(withBswap) }},
+			Cell{"table4/dilp/" + suffix, func(cfg *Config) any { return table4DILP(withBswap) }},
+		)
+	}
+	return cells
+}
+
+func mergeTable4(vs []any) Table4 {
+	var out Table4
+	for i := 0; i < 2; i++ {
+		out.Separate[i] = vs[4*i].(float64)
+		out.SeparateUncached[i] = vs[4*i+1].(float64)
+		out.CIntegrated[i] = vs[4*i+2].(float64)
+		out.DILP[i] = vs[4*i+3].(float64)
+	}
+	return out
+}
+
 // RunTable4 regenerates Table IV using the real pipe machinery: the
 // separate strategy runs one full traversal per operation, "C integrated"
 // is a hand-written fused loop, and DILP is the dynamically compiled
 // engine of Figs. 1 and 2.
-func RunTable4() Table4 {
-	var out Table4
-	for i, withBswap := range []bool{false, true} {
-		out.Separate[i] = table4Separate(withBswap, false)
-		out.SeparateUncached[i] = table4Separate(withBswap, true)
-		out.CIntegrated[i] = table4Hand(withBswap)
-		out.DILP[i] = table4DILP(withBswap)
-	}
-	return out
+func RunTable4(cfg *Config) Table4 {
+	return mergeTable4(runCells(cfg, table4Cells()))
 }
 
 func table4Pipes(withBswap bool) (*pipe.List, *pipe.Pipe, vcode.Reg) {

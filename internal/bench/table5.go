@@ -38,21 +38,42 @@ var PaperTable5 = Table5{
 	Suspended: [5]float64{147, 151, 193, 247},
 }
 
-// RunTable5 regenerates Table V.
-func RunTable5(iters int) Table5 {
+// table5Cells enumerates one cell per (mechanism, scheduling state).
+func table5Cells(iters int) []Cell {
+	var cells []Cell
+	for m := MechUnsafeASH; m <= MechOptASH; m++ {
+		m := m
+		cells = append(cells,
+			Cell{"table5/" + mechNames[m] + "/polling", func(cfg *Config) any {
+				return remoteIncrementRT(cfg, m, false, iters, nil)
+			}},
+			Cell{"table5/" + mechNames[m] + "/suspended", func(cfg *Config) any {
+				return remoteIncrementRT(cfg, m, true, iters, nil)
+			}},
+		)
+	}
+	return cells
+}
+
+func mergeTable5(vs []any) Table5 {
 	var t Table5
 	for m := MechUnsafeASH; m <= MechOptASH; m++ {
-		t.Polling[m] = remoteIncrementRT(m, false, iters, nil)
-		t.Suspended[m] = remoteIncrementRT(m, true, iters, nil)
+		t.Polling[m] = vs[2*int(m)].(float64)
+		t.Suspended[m] = vs[2*int(m)+1].(float64)
 	}
 	return t
+}
+
+// RunTable5 regenerates Table V.
+func RunTable5(cfg *Config, iters int) Table5 {
+	return mergeTable5(runCells(cfg, table5Cells(iters)))
 }
 
 // remoteIncrementRT measures the round trip of a remote-increment active
 // message. The client is a user-level polling process; the server-side
 // handling mechanism and scheduling state vary.
-func remoteIncrementRT(mech Mechanism, suspended bool, iters int, o *obsRun) float64 {
-	tb := NewAN2Testbed()
+func remoteIncrementRT(cfg *Config, mech Mechanism, suspended bool, iters int, o *obsRun) float64 {
+	tb := NewAN2Testbed(cfg)
 	o.attach(tb)
 	const vc = 9
 	const warmup = 2

@@ -54,19 +54,45 @@ var table6Modes = [5]table6Mode{
 	{tcp.ModeUser, true, false},
 }
 
-// RunTable6 regenerates Table VI.
-func RunTable6(p Table6Params) Table6 {
-	var t Table6
+// table6Cells enumerates one cell per (mode, measurement): 15 independent
+// TCP worlds.
+func table6Cells(p Table6Params) []Cell {
+	var cells []Cell
 	for i, m := range table6Modes {
-		t.Latency[i] = table6Latency(m, p.LatIters, nil)
-		t.Tput[i] = table6Tput(m, p.TCPBytes, 3072, 8192)
-		t.TputSmall[i] = table6Tput(m, p.TCPBytes/2, 536, 4096)
+		i, m := i, m
+		label := "table6/" + Table6Labels[i]
+		cells = append(cells,
+			Cell{label + "/latency", func(cfg *Config) any {
+				return table6Latency(cfg, m, p.LatIters, nil)
+			}},
+			Cell{label + "/tput", func(cfg *Config) any {
+				return table6Tput(cfg, m, p.TCPBytes, 3072, 8192)
+			}},
+			Cell{label + "/tput-small", func(cfg *Config) any {
+				return table6Tput(cfg, m, p.TCPBytes/2, 536, 4096)
+			}},
+		)
+	}
+	return cells
+}
+
+func mergeTable6(vs []any) Table6 {
+	var t Table6
+	for i := range table6Modes {
+		t.Latency[i] = vs[3*i].(float64)
+		t.Tput[i] = vs[3*i+1].(float64)
+		t.TputSmall[i] = vs[3*i+2].(float64)
 	}
 	return t
 }
 
-func table6Testbed(m table6Mode) *Testbed {
-	tb := NewAN2Testbed()
+// RunTable6 regenerates Table VI.
+func RunTable6(cfg *Config, p Table6Params) Table6 {
+	return mergeTable6(runCells(cfg, table6Cells(p)))
+}
+
+func table6Testbed(cfg *Config, m table6Mode) *Testbed {
+	tb := NewAN2Testbed(cfg)
 	if m.suspended {
 		tb.K1.Sched = aegis.NewPriorityBoost(tb.K1)
 		tb.K2.Sched = aegis.NewPriorityBoost(tb.K2)
@@ -90,8 +116,8 @@ func table6Cfg(tb *Testbed, m table6Mode, host, mss int) tcp.Config {
 	return cfg
 }
 
-func table6Latency(m table6Mode, iters int, o *obsRun) float64 {
-	tb := table6Testbed(m)
+func table6Latency(cfg *Config, m table6Mode, iters int, o *obsRun) float64 {
+	tb := table6Testbed(cfg, m)
 	return tcpPingPong(tb, iters, o,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.StackAN2(p, 2, 7), table6Cfg(tb, m, 2, 3072), 80)
@@ -101,8 +127,8 @@ func table6Latency(m table6Mode, iters int, o *obsRun) float64 {
 		})
 }
 
-func table6Tput(m table6Mode, totalBytes, mss, writeSize int) float64 {
-	tb := table6Testbed(m)
+func table6Tput(cfg *Config, m table6Mode, totalBytes, mss, writeSize int) float64 {
+	tb := table6Testbed(cfg, m)
 	return tcpStream(tb, totalBytes, writeSize,
 		func(p *aegis.Process) (*tcp.Conn, error) {
 			return tcp.Accept(tb.StackAN2(p, 2, 7), table6Cfg(tb, m, 2, mss), 80)
@@ -129,10 +155,10 @@ func (t Table6) Table() *Table {
 // Table6LatencyDebug and Table6TputDebug expose single-mode runs for
 // diagnostics.
 func Table6LatencyDebug(mode, iters int) float64 {
-	return table6Latency(table6Modes[mode], iters, nil)
+	return table6Latency(nil, table6Modes[mode], iters, nil)
 }
 
 // Table6TputDebug measures one mode's throughput.
 func Table6TputDebug(mode, bytes, mss, ws int) float64 {
-	return table6Tput(table6Modes[mode], bytes, mss, ws)
+	return table6Tput(nil, table6Modes[mode], bytes, mss, ws)
 }

@@ -22,12 +22,6 @@ import (
 	"ashs/internal/sim"
 )
 
-// Observe, when non-nil, is called with every freshly built testbed before
-// any workload runs. The ashbench -trace flag installs a hook here that
-// attaches an observability plane to each testbed so every experiment can
-// be traced without threading a parameter through all of them.
-var Observe func(tb *Testbed)
-
 // Testbed is a pair of simulated hosts on one network.
 type Testbed struct {
 	Eng        *sim.Engine
@@ -51,8 +45,9 @@ func (tb *Testbed) AttachObs(pl *obs.Plane) {
 	tb.K2.Obs = pl
 }
 
-// NewAN2Testbed builds the standard two-host AN2 world.
-func NewAN2Testbed() *Testbed {
+// NewAN2Testbed builds the standard two-host AN2 world. The config's
+// Obs/Fault hooks (nil-safe) run before any workload touches the testbed.
+func NewAN2Testbed(cfg *Config) *Testbed {
 	eng := sim.NewEngine()
 	prof := mach.DS5000_240()
 	sw := netdev.NewSwitch(eng, prof, netdev.AN2Config())
@@ -63,14 +58,12 @@ func NewAN2Testbed() *Testbed {
 	tb.A1, tb.A2 = aegis.NewAN2(tb.K1, sw), aegis.NewAN2(tb.K2, sw)
 	tb.Sys1, tb.Sys2 = core.NewSystem(tb.K1), core.NewSystem(tb.K2)
 	tb.IP1, tb.IP2 = ip.HostAddr(tb.A1.Addr()), ip.HostAddr(tb.A2.Addr())
-	if Observe != nil {
-		Observe(tb)
-	}
+	cfg.observe(tb)
 	return tb
 }
 
 // NewEthernetTestbed builds the two-host Ethernet world.
-func NewEthernetTestbed() *Testbed {
+func NewEthernetTestbed(cfg *Config) *Testbed {
 	eng := sim.NewEngine()
 	prof := mach.DS5000_240()
 	sw := netdev.NewSwitch(eng, prof, netdev.EthernetConfig())
@@ -81,9 +74,7 @@ func NewEthernetTestbed() *Testbed {
 	tb.E1, tb.E2 = aegis.NewEthernet(tb.K1, sw), aegis.NewEthernet(tb.K2, sw)
 	tb.Sys1, tb.Sys2 = core.NewSystem(tb.K1), core.NewSystem(tb.K2)
 	tb.IP1, tb.IP2 = ip.HostAddr(tb.E1.Addr()), ip.HostAddr(tb.E2.Addr())
-	if Observe != nil {
-		Observe(tb)
-	}
+	cfg.observe(tb)
 	return tb
 }
 

@@ -24,7 +24,7 @@ func soakParams() bench.ChaosParams {
 // workloads must complete intact, and the recovery counters must line up
 // with what the schedule injects (faults injected => faults absorbed).
 func TestChaosSoak(t *testing.T) {
-	for _, r := range bench.RunChaos(soakParams()) {
+	for _, r := range bench.RunChaos(nil, soakParams()) {
 		if !r.TCPOk {
 			t.Errorf("%s/seed %d: TCP transfer failed integrity", r.Schedule, r.Seed)
 		}
@@ -72,8 +72,8 @@ func TestChaosSeedDeterminism(t *testing.T) {
 	p.TCPBytes = 128 << 10
 	sched, _ := fault.Named("everything")
 	p.Schedules = []fault.Schedule{sched}
-	a := bench.RunChaos(p)
-	b := bench.RunChaos(p)
+	a := bench.RunChaos(nil, p)
+	b := bench.RunChaos(nil, p)
 	if len(a) != 1 || len(b) != 1 {
 		t.Fatalf("expected one cell per run, got %d/%d", len(a), len(b))
 	}

@@ -163,6 +163,9 @@ type Conn struct {
 
 	fast *fastPath // installed handler, if any
 
+	// scratchSeg backs WriteBytes staging; zero Len means unallocated.
+	scratchSeg aegis.Segment
+
 	// Statistics.
 	PredictHits, PredictMisses     uint64
 	HandlerConsumed, HandlerAborts uint64
@@ -405,15 +408,11 @@ func (c *Conn) WriteBytes(data []byte) error {
 	return c.Write(seg, len(data))
 }
 
-var scratchSegs = map[*Conn]aegis.Segment{}
-
 func (c *Conn) scratch(n int) uint32 {
-	s, ok := scratchSegs[c]
-	if !ok || int(s.Len) < n {
-		s = c.owner().AS.MustAlloc(max(n, 16384), "tcp-scratch")
-		scratchSegs[c] = s
+	if c.scratchSeg.Len == 0 || int(c.scratchSeg.Len) < n {
+		c.scratchSeg = c.owner().AS.MustAlloc(max(n, 16384), "tcp-scratch")
 	}
-	return s.Base
+	return c.scratchSeg.Base
 }
 
 func max(a, b int) int {
@@ -598,7 +597,7 @@ func (c *Conn) teardown(err error) {
 	c.rtxq = nil
 	c.ackDue = false
 	c.ackDeadline = 0
-	delete(scratchSegs, c)
+	c.scratchSeg = aegis.Segment{}
 }
 
 // retransmit re-emits one segment from the queue.
@@ -1028,6 +1027,6 @@ func (c *Conn) Close() error {
 		c.state = Closed
 	}
 	c.state = Closed
-	delete(scratchSegs, c)
+	c.scratchSeg = aegis.Segment{}
 	return c.err
 }

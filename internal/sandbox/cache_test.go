@@ -1,0 +1,130 @@
+package sandbox
+
+import (
+	"reflect"
+	"testing"
+
+	"ashs/internal/vcode"
+)
+
+// memProgram builds a small handler with loads and stores so the SFI
+// instrumenter has real work to memoize.
+func memProgram(t *testing.T) *vcode.Program {
+	return assemble(t, func(b *vcode.Builder) {
+		r, v := b.Temp(), b.Temp()
+		b.MovI(r, 64)
+		b.MovI(v, 7)
+		b.St32(r, 0, v)
+		b.St32(r, 4, v)
+		b.Ld32(vcode.RRet, r, 0)
+		b.Ret()
+	})
+}
+
+func TestCompileCacheHitMatchesMiss(t *testing.T) {
+	ResetCache()
+	pol := DefaultPolicy()
+	p := memProgram(t)
+
+	sp1, err := Sandbox(p, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := Sandbox(p, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats after miss+hit: hits=%d misses=%d", hits, misses)
+	}
+	if sp2.Policy != pol {
+		t.Fatal("cached build does not carry the caller's policy pointer")
+	}
+	if !reflect.DeepEqual(sp1.Code.Insns, sp2.Code.Insns) ||
+		!reflect.DeepEqual(sp1.JmpTable, sp2.JmpTable) ||
+		sp1.AddedStatic != sp2.AddedStatic {
+		t.Fatal("cached build differs from fresh build")
+	}
+	if sp1.Code == sp2.Code || &sp1.JmpTable[0] == &sp2.JmpTable[0] {
+		t.Fatal("cache hit aliases a previously returned build")
+	}
+
+	// A caller may do what it likes with its copy; later hits must be
+	// unaffected.
+	sp2.Code.Insns[0] = vcode.Insn{Op: vcode.OpNop}
+	sp2.JmpTable[0] = -1
+	sp3, err := Sandbox(p, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp1.Code.Insns, sp3.Code.Insns) ||
+		!reflect.DeepEqual(sp1.JmpTable, sp3.JmpTable) {
+		t.Fatal("mutating a returned build poisoned the cache")
+	}
+}
+
+func TestCacheDistinguishesPolicies(t *testing.T) {
+	ResetCache()
+	p := memProgram(t)
+	naive := DefaultPolicy()
+	opt := DefaultPolicy()
+	opt.Optimize = true
+
+	spNaive, err := Sandbox(p, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spOpt, err := Sandbox(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(spNaive.Code.Insns, spOpt.Code.Insns) {
+		t.Fatal("distinct policies produced identical instrumentation — key collision?")
+	}
+	_, misses := CacheStats()
+	if misses < 2 {
+		t.Fatalf("expected two compile misses, got %d", misses)
+	}
+
+	// x86 policy differs only in the Hardware field.
+	x86 := DefaultPolicy()
+	x86.Hardware = HardwareX86
+	spX86, err := Sandbox(p, x86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spX86.AddedStatic != 0 || spX86.AddedStatic == spNaive.AddedStatic {
+		t.Fatalf("x86 build added %d instructions (MIPS added %d)",
+			spX86.AddedStatic, spNaive.AddedStatic)
+	}
+}
+
+func TestVerifyCacheRemembersRejections(t *testing.T) {
+	ResetCache()
+	bad := assemble(t, func(b *vcode.Builder) {
+		b.Call("kernel_format_disk")
+		b.Ret()
+	})
+	pol := DefaultPolicy()
+	err1 := Verify(bad, pol)
+	err2 := Verify(bad, pol)
+	if err1 == nil || err2 == nil {
+		t.Fatal("disallowed call verified")
+	}
+	if err1.Error() != err2.Error() {
+		t.Fatalf("cached rejection differs: %v vs %v", err1, err2)
+	}
+	hits, _ := CacheStats()
+	if hits == 0 {
+		t.Fatal("second Verify did not hit the cache")
+	}
+
+	// Allowing the call changes the policy fingerprint: the cached
+	// rejection must not shadow the now-valid program.
+	allowed := DefaultPolicy()
+	allowed.AllowedCalls["kernel_format_disk"] = true
+	if err := Verify(bad, allowed); err != nil {
+		t.Fatalf("policy change did not miss the cache: %v", err)
+	}
+}

@@ -109,9 +109,8 @@ func (e *VerifyError) Error() string {
 	return fmt.Sprintf("sandbox: rejected at pc=%d (%s): %s", e.PC, e.Insn, e.Reason)
 }
 
-// Verify performs the download-time static checks and returns nil if the
-// program may be instrumented and installed.
-func Verify(p *vcode.Program, pol *Policy) error {
+// verifyProgram is the uncached implementation behind Verify.
+func verifyProgram(p *vcode.Program, pol *Policy) error {
 	n := len(p.Insns)
 	for pc, in := range p.Insns {
 		switch {
@@ -225,9 +224,9 @@ type Program struct {
 	BudgetCoarsened int
 }
 
-// Sandbox verifies and instruments a program under pol. The input program
-// is not modified; the returned Program keeps its own private copy.
-func Sandbox(p *vcode.Program, pol *Policy) (*Program, error) {
+// compile is the uncached implementation behind Sandbox. It goes through
+// the cached Verify so a rejection is remembered alongside builds.
+func compile(p *vcode.Program, pol *Policy) (*Program, error) {
 	if err := Verify(p, pol); err != nil {
 		return nil, err
 	}
