@@ -43,6 +43,15 @@ if ! cmp -s "$tracedir/a.json" "$tracedir/b.json"; then
     exit 1
 fi
 
+# Fuzz targets: each parser/demux fuzzer runs a short wall-clock sweep on
+# top of its committed seed corpus. FuzzDPFDemux is differential (trie vs
+# linear scan vs an atom-count oracle), so a divergence in either engine
+# path fails here.
+echo "== fuzz sweep (10s per target)"
+go test -run '^$' -fuzz '^FuzzIPParse$' -fuzztime 10s ./internal/proto/ip/
+go test -run '^$' -fuzz '^FuzzTCPHeader$' -fuzztime 10s ./internal/proto/tcp/
+go test -run '^$' -fuzz '^FuzzDPFDemux$' -fuzztime 10s ./internal/dpf/
+
 # Parallel runner determinism: the full suite at -parallel=1 (serial
 # reference) and at one-worker-per-CPU must print byte-identical stdout.
 # Wall-time and trace summaries go to stderr, so cmp sees results only.
@@ -53,6 +62,30 @@ go build -o "$tracedir/ashbench" ./cmd/ashbench
 if ! cmp -s "$tracedir/serial.txt" "$tracedir/parallel.txt"; then
     echo "ashbench output differs between -parallel=1 and the default pool"
     diff "$tracedir/serial.txt" "$tracedir/parallel.txt" | head -40
+    exit 1
+fi
+
+# The scale experiment gets its own gate: its cells build worlds with up
+# to 512 hosts, the structure most likely to surface nondeterminism in
+# the runner, so a regression must be attributable to it directly.
+echo "== scale fan-in determinism (byte-identical stdout)"
+"$tracedir/ashbench" -experiment scale -parallel 1 >"$tracedir/scale-serial.txt" 2>/dev/null
+"$tracedir/ashbench" -experiment scale >"$tracedir/scale-parallel.txt" 2>/dev/null
+if ! cmp -s "$tracedir/scale-serial.txt" "$tracedir/scale-parallel.txt"; then
+    echo "scale output differs between -parallel=1 and the default pool"
+    diff "$tracedir/scale-serial.txt" "$tracedir/scale-parallel.txt" | head -40
+    exit 1
+fi
+
+# Coverage gate: per-package coverage is printed for review; the total
+# must not regress below the floor (measured baseline minus slack).
+echo "== coverage (floor 78.0%)"
+go test -coverprofile="$tracedir/cover.out" ./... | grep -v '^---' || true
+total=$(go tool cover -func="$tracedir/cover.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total coverage: ${total}%"
+ok=$(awk -v t="$total" 'BEGIN { print (t >= 78.0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "total coverage ${total}% fell below the 78.0% floor"
     exit 1
 fi
 

@@ -40,6 +40,12 @@ type MsgCtx struct {
 	VC    int
 	Src   int
 
+	// Striped marks an Ethernet arrival whose kernel buffer holds the
+	// frame in the striping DMA's alternating 16-byte data/pad layout;
+	// handlers that touch the buffer in place must index it through
+	// StripedIndex (or use RawData and account for the doubling).
+	Striped bool
+
 	iface *AN2If
 	ether *EthernetIf
 	ring  *Ring // the binding's notification ring (for doorbells)
@@ -73,8 +79,20 @@ func (mc *MsgCtx) When() sim.Time { return mc.t0 + mc.cost }
 
 // Data returns the received bytes (the DMA'd message in the owner's
 // buffer). Handlers performing modeled data access must charge separately.
+// For striped arrivals only the first data line is contiguous — use
+// RawData with StripedIndex to address the rest.
 func (mc *MsgCtx) Data() []byte {
 	return mc.K.Bytes(mc.Entry.Addr, mc.Entry.Len)
+}
+
+// RawData returns the buffer as the device laid it out: for striped
+// Ethernet arrivals that is the alternating data/pad window covering the
+// whole frame (index it with StripedIndex); otherwise it is Data.
+func (mc *MsgCtx) RawData() []byte {
+	if !mc.Striped || mc.Entry.Len == 0 {
+		return mc.Data()
+	}
+	return mc.K.Bytes(mc.Entry.Addr, StripedIndex(mc.Entry.Len-1)+1)
 }
 
 // Send initiates a message from the handler ("ASHs can send messages...
@@ -267,7 +285,7 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 		a.CRCDrops++
 		return
 	}
-	a.K.Interrupts++
+	intr := a.K.interruptEntry()
 	var df DeviceFault
 	if a.InjectFault != nil {
 		df = a.InjectFault(pkt)
@@ -331,7 +349,7 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 		b.FreeBuf(bufIdx)
 		return
 	default:
-		mc.Charge(sim.Time(prof.InterruptCycles + prof.DeviceRxService + prof.DemuxVCCycles))
+		mc.Charge(intr + sim.Time(prof.DeviceRxService+prof.DemuxVCCycles))
 		o.Span(a.K.Name, "device", "device", "an2 rx demux", mc.t0, mc.Cost())
 		o.Inc("aegis/" + a.K.Name + "/interrupts")
 	}

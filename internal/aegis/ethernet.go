@@ -51,23 +51,38 @@ type EthernetIf struct {
 	CRCDrops            uint64
 	InjectedPoolDrops   uint64
 	InjectedTruncations uint64
+
+	// RxFrames counts frames accepted by a filter; DemuxCycles accumulates
+	// the modeled DPF classification cost across them, so an experiment can
+	// report demux cycles per message as endpoints multiply.
+	RxFrames    uint64
+	DemuxCycles sim.Time
 }
 
-// EthRxBuffers is the size of the device's receive pool.
+// EthRxBuffers is the default size of the device's receive pool.
 const EthRxBuffers = 32
 
 // StripeChunk is the data-line size of the striping DMA engine.
 const StripeChunk = 16
 
-// NewEthernet attaches an Ethernet interface to host k on switch sw.
+// NewEthernet attaches an Ethernet interface to host k on switch sw with
+// the default receive pool.
 func NewEthernet(k *Kernel, sw *netdev.Switch) *EthernetIf {
+	return NewEthernetPool(k, sw, EthRxBuffers)
+}
+
+// NewEthernetPool attaches an Ethernet interface with an explicit receive
+// pool size. Each buffer is 2×(MaxFrame+16) bytes (the striping DMA needs
+// double width), so fan-in testbeds with hundreds of client hosts shrink
+// the per-client pool to fit small kernels.
+func NewEthernetPool(k *Kernel, sw *netdev.Switch, nbufs int) *EthernetIf {
 	e := &EthernetIf{
 		K: k, Port: sw.NewPort(), Sw: sw,
 		engine:   dpf.NewEngine(),
 		bindings: map[dpf.FilterID]*EthBinding{},
 	}
 	bufSize := 2 * (sw.Cfg.MaxFrame + StripeChunk)
-	for i := 0; i < EthRxBuffers; i++ {
+	for i := 0; i < nbufs; i++ {
 		// Boot-time device pool on a fresh host: exhaustion here is a
 		// misconfigured testbed, not guest misbehavior, so a panic is the
 		// right failure mode.
@@ -142,7 +157,7 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 		e.CRCDrops++
 		return
 	}
-	e.K.Interrupts++
+	intr := e.K.interruptEntry()
 	prof := e.K.Prof
 
 	var df DeviceFault
@@ -163,6 +178,8 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 		return
 	}
 	b := e.bindings[id]
+	e.RxFrames++
+	e.DemuxCycles += demuxCycles
 	if df.DropRing || df.DropPool {
 		// Receive-pool exhaustion: nowhere to DMA the frame.
 		e.InjectedPoolDrops++
@@ -185,13 +202,13 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 	e.K.Cache.FlushRange(seg.Base, 2*n)
 
 	mc := &MsgCtx{
-		K: e.K, Owner: b.Owner, Src: pkt.Src, ether: e, ring: b.Ring,
+		K: e.K, Owner: b.Owner, Src: pkt.Src, ether: e, ring: b.Ring, Striped: true,
 		Entry: RingEntry{Addr: seg.Base, Len: n, Src: pkt.Src, BufIndex: bufIdx},
 		t0:    e.K.kernStart(),
 	}
 	defer func() { e.K.kernBusyUntil = mc.When() }()
 	o := e.K.Obs
-	mc.Charge(sim.Time(prof.InterruptCycles+prof.DeviceRxService) + demuxCycles)
+	mc.Charge(intr + sim.Time(prof.DeviceRxService) + demuxCycles)
 	o.Span(e.K.Name, "device", "device", "eth rx demux", mc.t0, mc.Cost())
 	o.Inc("aegis/" + e.K.Name + "/interrupts")
 

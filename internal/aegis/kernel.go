@@ -47,27 +47,46 @@ type Kernel struct {
 	// overlapping in virtual time.
 	kernBusyUntil sim.Time
 
-	// Statistics.
-	CtxSwitches uint64
-	Interrupts  uint64
+	memSize uint32
+
+	// Statistics. BatchedInterrupts counts device arrivals that landed
+	// while the kernel receive path was already busy and were drained from
+	// the ring in the same interrupt service — they charge demux and
+	// delivery but not a fresh interrupt entry/exit.
+	CtxSwitches       uint64
+	Interrupts        uint64
+	BatchedInterrupts uint64
 }
 
 // HostMemBase is where simulated physical memory starts. Leaving page 0
 // unmapped catches null-pointer handler bugs.
 const HostMemBase = 0x00100000
 
-// HostMemSize is the amount of simulated physical memory per host.
+// HostMemSize is the default amount of simulated physical memory per host.
 const HostMemSize = 8 << 20
 
-// NewKernel boots a host named name on engine eng.
+// NewKernel boots a host named name on engine eng with the default memory
+// size.
 func NewKernel(name string, eng *sim.Engine, prof *mach.Profile) *Kernel {
+	return NewKernelMem(name, eng, prof, HostMemSize)
+}
+
+// NewKernelMem boots a host with memSize bytes of physical memory. Fan-in
+// testbeds size client hosts well below the default so a 512-host world
+// fits; a Go-side byte slice backs each host's memory, so footprint is the
+// scaling limit.
+func NewKernelMem(name string, eng *sim.Engine, prof *mach.Profile, memSize int) *Kernel {
+	if memSize <= 0 {
+		panic("aegis: NewKernelMem of nonpositive size")
+	}
 	k := &Kernel{
-		Name:  name,
-		Eng:   eng,
-		Prof:  prof,
-		Cache: mach.NewCache(prof),
-		Mem:   vcode.NewFlatMem(HostMemBase, HostMemSize),
-		brk:   HostMemBase,
+		Name:    name,
+		Eng:     eng,
+		Prof:    prof,
+		Cache:   mach.NewCache(prof),
+		Mem:     vcode.NewFlatMem(HostMemBase, memSize),
+		brk:     HostMemBase,
+		memSize: uint32(memSize),
 	}
 	k.Sched = NewRoundRobin()
 	return k
@@ -84,7 +103,7 @@ func (k *Kernel) AllocPhys(n int, why string) (uint32, error) {
 	}
 	line := uint32(k.Prof.LineBytes)
 	base := (k.brk + line - 1) &^ (line - 1)
-	if uint64(base)+uint64(n) > HostMemBase+HostMemSize {
+	if uint64(base)+uint64(n) > HostMemBase+uint64(k.memSize) {
 		k.Obs.Inc("aegis/" + k.Name + "/alloc_failures")
 		return 0, fmt.Errorf("aegis %s: out of physical memory allocating %d for %s",
 			k.Name, n, why)
@@ -169,4 +188,19 @@ func (k *Kernel) kernStart() sim.Time {
 		t = k.kernBusyUntil
 	}
 	return t
+}
+
+// interruptEntry models interrupt delivery for one device arrival and
+// returns the cycles to charge. An arrival to an idle kernel receive path
+// pays the full interrupt entry/exit cost; one landing while earlier
+// receive work is still in progress is drained from the device ring by
+// that in-progress service loop, so a burst of N back-to-back arrivals
+// charges one interrupt plus N-1 amortized ring drains.
+func (k *Kernel) interruptEntry() sim.Time {
+	if k.kernBusyUntil > k.Eng.Now() {
+		k.BatchedInterrupts++
+		return 0
+	}
+	k.Interrupts++
+	return sim.Time(k.Prof.InterruptCycles)
 }

@@ -149,6 +149,14 @@ var experiments = []*Experiment{
 			return mergeBreakdown(breakdownIters, vs).Render()
 		},
 	},
+	{
+		Name:  "scale",
+		Help:  "many-client fan-in: sub-linear demux vs client count",
+		Cells: func(cfg *Config) []Cell { return scaleCells(scaleMsgs(cfg)) },
+		Render: func(cfg *Config, vs []any) string {
+			return renderScale(vs)
+		},
+	},
 }
 
 // Workload sizing shared between the registry and the Run* entry points.

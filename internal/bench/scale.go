@@ -1,0 +1,519 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"ashs/internal/aegis"
+	"ashs/internal/core"
+	"ashs/internal/dpf"
+	"ashs/internal/mach"
+	"ashs/internal/netdev"
+	"ashs/internal/obs"
+	"ashs/internal/proto/ether"
+	"ashs/internal/proto/ip"
+	"ashs/internal/proto/link"
+	"ashs/internal/proto/nfs"
+	"ashs/internal/proto/tcp"
+	"ashs/internal/proto/udp"
+	"ashs/internal/sim"
+)
+
+// The scale experiment measures many-client fan-in: N client hosts on one
+// Ethernet segment all talk to a single server host, for N up to 512, and
+// the server's per-message receive cost is examined as endpoints multiply.
+// The paper's claim under test is that ASH-style demultiplexing scales
+// sub-linearly: the DPF trie classifies a frame in O(filter depth)
+// regardless of how many endpoint filters are installed (the per-endpoint
+// atoms collapse into one multi-way branch), and batched interrupt service
+// amortizes the interrupt entry across a burst of arrivals, so cycles per
+// message at N=512 are far below 512x the N=1 cost.
+//
+// Three workloads fan in, each a (workload, N) cell of the runner:
+//
+//   - udp-ash:  64-byte UDP echo answered entirely by a per-client ASH
+//   - tcp-fast: 64-byte TCP ping-pong through the small-message fast path
+//   - nfs-read: 1 KiB NFS reads against one server socket
+//
+// Scale worlds are built directly (one server + N small client kernels)
+// rather than through the two-host Testbed, so the global Obs/Fault hooks
+// do not apply; each cell measures client RTTs into its own obs.Histogram
+// and reads the server's demux/interrupt counters, which keeps every cell
+// self-contained and its output byte-identical at any -parallel level.
+
+// scaleNs is the client-count sweep.
+var scaleNs = []int{1, 4, 16, 64, 256, 512}
+
+// scaleWorkloads names the fan-in workloads, in presentation order.
+var scaleWorkloads = []string{"udp-ash", "tcp-fast", "nfs-read"}
+
+const (
+	scaleEchoPort   = 7
+	scaleTCPPort    = 80
+	scaleNFSPort    = 2049
+	scaleClientPort = 1234
+	scalePayload    = 64   // echo message size (UDP and TCP)
+	scaleReadBytes  = 1024 // NFS read size
+	scaleFileBytes  = 4096 // NFS served file
+	scaleStaggerUs  = 5    // per-client start offset
+
+	// Client hosts are deliberately tiny (a 512-host world must fit in
+	// memory): enough for one UDP socket, one TCP connection, and an
+	// 8-buffer receive pool.
+	scaleClientMem     = 256 << 10
+	scaleClientRxBufs  = 8
+	scaleServerMem     = 48 << 20
+	scaleServerRxSlack = 64
+)
+
+// scaleHost is one simulated host of a fan-in world.
+type scaleHost struct {
+	k   *aegis.Kernel
+	e   *aegis.EthernetIf
+	ip  ip.Addr
+	sys *core.System // server only
+}
+
+// scaleWorld is one server plus n clients on a shared Ethernet switch.
+type scaleWorld struct {
+	eng  *sim.Engine
+	prof *mach.Profile
+	sw   *netdev.Switch
+	srv  scaleHost
+	cli  []scaleHost
+	res  ip.StaticResolver
+}
+
+func newScaleWorld(n int) *scaleWorld {
+	eng := sim.NewEngine()
+	prof := mach.DS5000_240()
+	sw := netdev.NewSwitch(eng, prof, netdev.EthernetConfig())
+	w := &scaleWorld{eng: eng, prof: prof, sw: sw, res: ip.StaticResolver{}}
+
+	sk := aegis.NewKernelMem("srv", eng, prof, scaleServerMem)
+	// The server's pool must absorb a burst with every client's message in
+	// flight at once.
+	se := aegis.NewEthernetPool(sk, sw, 2*n+scaleServerRxSlack)
+	w.srv = scaleHost{k: sk, e: se, ip: ip.HostAddr(se.Addr()), sys: core.NewSystem(sk)}
+	w.res[w.srv.ip] = link.Addr{Port: se.Addr()}
+
+	for i := 0; i < n; i++ {
+		ck := aegis.NewKernelMem(fmt.Sprintf("c%03d", i), eng, prof, scaleClientMem)
+		ce := aegis.NewEthernetPool(ck, sw, scaleClientRxBufs)
+		h := scaleHost{k: ck, e: ce, ip: ip.HostAddr(ce.Addr())}
+		w.res[h.ip] = link.Addr{Port: ce.Addr()}
+		w.cli = append(w.cli, h)
+	}
+	return w
+}
+
+// scaleListenFilter is the 4-atom wildcard endpoint filter: every
+// (proto, port) datagram addressed to local.
+func scaleListenFilter(local ip.Addr, proto byte, port uint16) *dpf.Filter {
+	return dpf.NewFilter().
+		Eq16(12, ether.TypeIPv4).
+		Eq32(ether.HeaderLen+16, ipU32(local)).
+		Eq8(ether.HeaderLen+9, proto).
+		Eq16(ether.HeaderLen+ip.HeaderLen+2, port)
+}
+
+// scalePeerFilter narrows the wildcard by source host (5 atoms): the
+// per-client listen endpoint of the fan-in TCP server.
+func scalePeerFilter(local ip.Addr, proto byte, port uint16, remote ip.Addr) *dpf.Filter {
+	return dpf.NewFilter().
+		Eq16(12, ether.TypeIPv4).
+		Eq32(ether.HeaderLen+12, ipU32(remote)).
+		Eq32(ether.HeaderLen+16, ipU32(local)).
+		Eq8(ether.HeaderLen+9, proto).
+		Eq16(ether.HeaderLen+ip.HeaderLen+2, port)
+}
+
+// scaleConnFilter pins one flow's full four-tuple (6 atoms). Deeper than
+// any listen filter, so the trie's deepest-terminal rule routes
+// established traffic here.
+func scaleConnFilter(local ip.Addr, proto byte, port uint16, remote ip.Addr, rport uint16) *dpf.Filter {
+	return dpf.NewFilter().
+		Eq16(12, ether.TypeIPv4).
+		Eq32(ether.HeaderLen+12, ipU32(remote)).
+		Eq32(ether.HeaderLen+16, ipU32(local)).
+		Eq8(ether.HeaderLen+9, proto).
+		Eq16(ether.HeaderLen+ip.HeaderLen+0, rport).
+		Eq16(ether.HeaderLen+ip.HeaderLen+2, port)
+}
+
+// stack builds an IP stack on h over filter f, with Ethernet link headers
+// and static resolution (no ARP daemons on a 512-host world).
+func (w *scaleWorld) stack(p *aegis.Process, h scaleHost, f *dpf.Filter) *ip.Stack {
+	ep, err := link.BindEthernet(h.e, p, f)
+	if err != nil {
+		panic(err)
+	}
+	st := ip.NewStack(ep, h.ip, w.res)
+	st.LinkHdrLen = ether.HeaderLen
+	myMAC := ether.PortMAC(h.e.Addr())
+	st.PrependLink = func(dst link.Addr, b []byte) []byte {
+		eh := ether.Header{Dst: ether.PortMAC(dst.Port), Src: myMAC, Type: ether.TypeIPv4}
+		return eh.Marshal(b)
+	}
+	return st
+}
+
+// ScaleResult is one (workload, N) cell's measurement.
+type ScaleResult struct {
+	Workload string
+	N        int
+	Msgs     uint64  // client operations completed
+	ThrMsgMs float64 // aggregate throughput, messages per millisecond
+	MeanUs   float64 // mean client latency
+	P50Us    float64 // histogram-bucket p50 upper bound
+	P99Us    float64 // histogram-bucket p99 upper bound
+	// CycPerMsg is the server's kernel receive cost per accepted frame:
+	// interrupt entries actually taken plus driver service plus DPF
+	// classification. Sub-linear growth vs N is the experiment's claim.
+	CycPerMsg   float64
+	DemuxPerMsg float64 // DPF classification cycles per accepted frame
+	BatchedPct  float64 // interrupt entries absorbed by batching, percent
+}
+
+// runScaleCell builds a fresh n-client world, fans the workload in, and
+// folds client latencies plus server counters into the result.
+func runScaleCell(workload string, n, m int) ScaleResult {
+	w := newScaleWorld(n)
+	hist := &obs.Histogram{}
+	starts := make([]sim.Time, n)
+	ends := make([]sim.Time, n)
+
+	switch workload {
+	case "udp-ash":
+		w.runUDPASH(m, hist, starts, ends)
+	case "tcp-fast":
+		w.runTCPFast(m, hist, starts, ends)
+	case "nfs-read":
+		w.runNFSRead(m, hist, starts, ends)
+	default:
+		panic("bench: unknown scale workload " + workload)
+	}
+	w.eng.Run()
+
+	var lo, hi sim.Time
+	for i := 0; i < n; i++ {
+		if i == 0 || starts[i] < lo {
+			lo = starts[i]
+		}
+		if ends[i] > hi {
+			hi = ends[i]
+		}
+	}
+	r := ScaleResult{Workload: workload, N: n, Msgs: hist.Count()}
+	if us := w.prof.Us(hi - lo); us > 0 {
+		r.ThrMsgMs = float64(r.Msgs) / us * 1000
+	}
+	if r.Msgs > 0 {
+		r.MeanUs = w.prof.Us(hist.Sum()) / float64(r.Msgs)
+	}
+	r.P50Us = w.prof.Us(hist.Quantile(0.50))
+	r.P99Us = w.prof.Us(hist.Quantile(0.99))
+
+	if rx := w.srv.e.RxFrames; rx > 0 {
+		intr := w.srv.k.Interrupts
+		batched := w.srv.k.BatchedInterrupts
+		kernel := sim.Time(intr)*sim.Time(w.prof.InterruptCycles) +
+			sim.Time(rx)*sim.Time(w.prof.DeviceRxService) +
+			w.srv.e.DemuxCycles
+		r.CycPerMsg = float64(kernel) / float64(rx)
+		r.DemuxPerMsg = float64(w.srv.e.DemuxCycles) / float64(rx)
+		if total := intr + batched; total > 0 {
+			r.BatchedPct = 100 * float64(batched) / float64(total)
+		}
+	}
+	return r
+}
+
+// runUDPASH installs one 6-atom filter plus echo ASH per client on the
+// server; each client ping-pongs m 64-byte datagrams through its own
+// socket. The server never schedules a process: the handlers answer from
+// the interrupt path.
+func (w *scaleWorld) runUDPASH(m int, hist *obs.Histogram, starts, ends []sim.Time) {
+	w.srv.k.Spawn("echo", func(p *aegis.Process) {
+		for i := range w.cli {
+			c := w.cli[i]
+			f := scaleConnFilter(w.srv.ip, ip.ProtoUDP, scaleEchoPort, c.ip, scaleClientPort)
+			b, err := w.srv.e.BindFilter(p, f)
+			if err != nil {
+				panic(err)
+			}
+			tmpl := w.echoTemplate(c)
+			dst := c.e.Addr()
+			ash := w.srv.sys.NewFuncASH(p, fmt.Sprintf("udp-echo-%d", i), true,
+				func(ctx *core.Ctx) aegis.Disposition {
+					const off = ether.HeaderLen + ip.HeaderLen + udp.HeaderLen
+					n := ctx.Entry().Len
+					if n < off {
+						return aegis.DispToUser
+					}
+					// Header validation: the filter already pinned the
+					// tuple, the handler re-checks lengths.
+					ctx.Straightline(48, 12)
+					raw := ctx.RawData()
+					frame := append(append([]byte(nil), tmpl...), make([]byte, n-off)...)
+					for j := 0; j < n-off; j++ {
+						frame[len(tmpl)+j] = raw[aegis.StripedIndex(off+j)]
+					}
+					// Byte-wise echo copy out of the striped buffer.
+					ctx.Straightline(2*(n-off), n-off)
+					ctx.Send(dst, 0, frame)
+					return aegis.DispConsumed
+				})
+			ash.AttachEth(b)
+		}
+	})
+
+	for i := range w.cli {
+		i := i
+		c := w.cli[i]
+		c.k.Spawn("client", func(p *aegis.Process) {
+			sock := udp.NewSocket(
+				w.stack(p, c, scaleListenFilter(c.ip, ip.ProtoUDP, scaleClientPort)),
+				scaleClientPort, udp.Options{})
+			payload := make([]byte, scalePayload)
+			for j := range payload {
+				payload[j] = byte(i + j)
+			}
+			p.Compute(w.prof.Cycles(float64(i) * scaleStaggerUs))
+			starts[i] = p.K.Now()
+			for j := 0; j < m; j++ {
+				t0 := p.K.Now()
+				if err := sock.SendBytes(w.srv.ip, scaleEchoPort, payload); err != nil {
+					panic(err)
+				}
+				msg, err := sock.Recv(false)
+				if err != nil {
+					panic(err)
+				}
+				if msg.N != scalePayload {
+					panic(fmt.Sprintf("scale: echo returned %d bytes", msg.N))
+				}
+				sock.Release(msg)
+				hist.Observe(p.K.Now() - t0)
+			}
+			ends[i] = p.K.Now()
+		})
+	}
+}
+
+// echoTemplate prebuilds the reply frame headers (Ethernet + IP + UDP) the
+// echo ASH sends back to client c; the handler appends the echoed payload.
+func (w *scaleWorld) echoTemplate(c scaleHost) []byte {
+	eh := ether.Header{Dst: ether.PortMAC(c.e.Addr()), Src: ether.PortMAC(w.srv.e.Addr()),
+		Type: ether.TypeIPv4}
+	b := eh.Marshal(nil)
+	ih := ip.Header{TotalLen: ip.HeaderLen + udp.HeaderLen + scalePayload,
+		TTL: 64, Proto: ip.ProtoUDP, DF: true, Src: w.srv.ip, Dst: c.ip}
+	b = ih.Marshal(b)
+	b = binary.BigEndian.AppendUint16(b, scaleEchoPort)
+	b = binary.BigEndian.AppendUint16(b, scaleClientPort)
+	b = binary.BigEndian.AppendUint16(b, udp.HeaderLen+scalePayload)
+	return binary.BigEndian.AppendUint16(b, 0) // checksum not used
+}
+
+// scaleTCPCfg is the connection config for the fan-in TCP workload.
+// Blocking waits (no polling): hundreds of pollers time-sharing the
+// server CPU would spin each other out of the schedule.
+func (w *scaleWorld) scaleTCPCfg(server bool) tcp.Config {
+	cfg := tcp.DefaultConfig()
+	cfg.MSS = EthernetTCPMSS
+	cfg.Polling = false
+	if server {
+		cfg.Mode = tcp.ModeASH
+		cfg.Sys = w.srv.sys
+	}
+	return cfg
+}
+
+// runTCPFast accepts one connection per client through the fan-in path —
+// a per-client listen endpoint consumes the SYN, a 6-atom per-connection
+// filter claims the rest of the flow before the SYN|ACK goes out, and
+// AcceptHandoff completes the handshake — then echoes m small messages
+// through the fast path, with the shared ConnTable tracking ownership.
+func (w *scaleWorld) runTCPFast(m int, hist *obs.Histogram, starts, ends []sim.Time) {
+	tbl := tcp.NewConnTable(0)
+	for i := range w.cli {
+		i := i
+		c := w.cli[i]
+		w.srv.k.Spawn(fmt.Sprintf("srv-%d", i), func(p *aegis.Process) {
+			lst := w.stack(p, w.srv, scalePeerFilter(w.srv.ip, ip.ProtoTCP, scaleTCPPort, c.ip))
+			d, ok, err := lst.RecvUntil(false, 0)
+			if err != nil || !ok {
+				panic(fmt.Sprintf("scale: listener %d: ok=%v err=%v", i, ok, err))
+			}
+			syn, isSyn := tcp.ParseSyn(d)
+			lst.Release(d)
+			if !isSyn {
+				panic(fmt.Sprintf("scale: listener %d got non-SYN", i))
+			}
+			st := w.stack(p, w.srv,
+				scaleConnFilter(w.srv.ip, ip.ProtoTCP, scaleTCPPort, syn.RemoteIP, syn.RemotePort))
+			conn, err := tcp.AcceptHandoff(st, w.scaleTCPCfg(true), scaleTCPPort, syn)
+			if err != nil {
+				panic(err)
+			}
+			if err := tbl.Bind(conn.Tuple(), conn); err != nil {
+				panic(err)
+			}
+			buf := p.AS.MustAlloc(scalePayload, "echo")
+			for j := 0; j < m; j++ {
+				if err := conn.ReadFull(buf.Base, scalePayload); err != nil {
+					panic(err)
+				}
+				if _, ok := tbl.Lookup(conn.Tuple()); !ok {
+					panic("scale: live connection missing from table")
+				}
+				if err := conn.WriteBytes(w.srv.k.Bytes(buf.Base, scalePayload)); err != nil {
+					panic(err)
+				}
+			}
+			if !tbl.Remove(conn.Tuple()) {
+				panic("scale: connection already removed")
+			}
+			_ = conn.Close()
+		})
+	}
+
+	for i := range w.cli {
+		i := i
+		c := w.cli[i]
+		c.k.Spawn("client", func(p *aegis.Process) {
+			p.Compute(w.prof.Cycles(float64(i) * scaleStaggerUs))
+			st := w.stack(p, c, scaleListenFilter(c.ip, ip.ProtoTCP, scaleClientPort))
+			conn, err := tcp.Connect(st, w.scaleTCPCfg(false), scaleClientPort, w.srv.ip, scaleTCPPort)
+			if err != nil {
+				panic(err)
+			}
+			payload := make([]byte, scalePayload)
+			for j := range payload {
+				payload[j] = byte(i ^ j)
+			}
+			buf := p.AS.MustAlloc(scalePayload, "reply")
+			starts[i] = p.K.Now()
+			for j := 0; j < m; j++ {
+				t0 := p.K.Now()
+				if err := conn.WriteBytes(payload); err != nil {
+					panic(err)
+				}
+				if err := conn.ReadFull(buf.Base, scalePayload); err != nil {
+					panic(err)
+				}
+				hist.Observe(p.K.Now() - t0)
+			}
+			ends[i] = p.K.Now()
+			_ = conn.Close()
+		})
+	}
+}
+
+// runNFSRead serves one in-memory file from a single server socket; each
+// client issues m 1 KiB reads. The server is one process draining one
+// ring — fan-in pressure shows up as queueing in the latency tail.
+func (w *scaleWorld) runNFSRead(m int, hist *obs.Histogram, starts, ends []sim.Time) {
+	srv := nfs.NewServer()
+	data := make([]byte, scaleFileBytes)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	fh := srv.AddFile("scale", data)
+
+	// Serve forever: a duplicate request born of a client retry must not
+	// consume a straggler's slot. The engine drains once the clients are
+	// done and the server parks on an empty ring.
+	w.srv.k.Spawn("nfsd", func(p *aegis.Process) {
+		sock := udp.NewSocket(
+			w.stack(p, w.srv, scaleListenFilter(w.srv.ip, ip.ProtoUDP, scaleNFSPort)),
+			scaleNFSPort, udp.Options{})
+		srv.Serve(p, sock, 0)
+	})
+
+	for i := range w.cli {
+		i := i
+		c := w.cli[i]
+		c.k.Spawn("client", func(p *aegis.Process) {
+			p.Compute(w.prof.Cycles(float64(i) * scaleStaggerUs))
+			sock := udp.NewSocket(
+				w.stack(p, c, scaleListenFilter(c.ip, ip.ProtoUDP, scaleClientPort)),
+				scaleClientPort, udp.Options{})
+			cli := nfs.NewClient(sock, w.srv.ip, scaleNFSPort)
+			// Fan-in queueing at N=512 runs to hundreds of milliseconds;
+			// the default 100 ms retry timer would fire on queued-but-alive
+			// requests and double the load exactly when it hurts.
+			cli.RetryUs = 1_000_000
+			cli.MaxRetryUs = 4_000_000
+			starts[i] = p.K.Now()
+			for j := 0; j < m; j++ {
+				off := uint32(j*scaleReadBytes) % scaleFileBytes
+				t0 := p.K.Now()
+				b, err := cli.Read(p, fh, off, scaleReadBytes)
+				if err != nil {
+					panic(err)
+				}
+				if len(b) != scaleReadBytes || b[0] != data[off] {
+					panic("scale: short or corrupt NFS read")
+				}
+				hist.Observe(p.K.Now() - t0)
+			}
+			ends[i] = p.K.Now()
+		})
+	}
+}
+
+// scaleMsgs is the per-client message count.
+func scaleMsgs(cfg *Config) int {
+	if cfg.quick() {
+		return 4
+	}
+	return 8
+}
+
+// scaleCells enumerates the sweep, workload-major so each workload's table
+// reads straight out of the result slice.
+func scaleCells(m int) []Cell {
+	var cells []Cell
+	for _, wl := range scaleWorkloads {
+		for _, n := range scaleNs {
+			wl, n := wl, n
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("scale/%s/N=%d", wl, n),
+				Run:   func(*Config) any { return runScaleCell(wl, n, m) },
+			})
+		}
+	}
+	return cells
+}
+
+var scaleWorkloadDesc = map[string]string{
+	"udp-ash":  fmt.Sprintf("%d-byte UDP echo answered by per-client ASHs", scalePayload),
+	"tcp-fast": fmt.Sprintf("%d-byte TCP ping-pong through the fast path", scalePayload),
+	"nfs-read": fmt.Sprintf("%d-byte NFS reads against one server socket", scaleReadBytes),
+}
+
+// renderScale formats one table per workload: throughput and latency from
+// the client histograms, per-message kernel cost from the server counters.
+func renderScale(vs []any) string {
+	var b strings.Builder
+	b.WriteString("Scale: many-client fan-in, one Ethernet server host\n")
+	b.WriteString("  (cyc/msg = server interrupt + driver + DPF demux cycles per accepted frame)\n")
+	idx := 0
+	for _, wl := range scaleWorkloads {
+		fmt.Fprintf(&b, "  %s: %s\n", wl, scaleWorkloadDesc[wl])
+		fmt.Fprintf(&b, "    %5s  %6s  %11s  %9s  %8s  %8s  %8s  %9s  %10s\n",
+			"N", "msgs", "thr[msg/ms]", "mean[us]", "p50[us]", "p99[us]",
+			"cyc/msg", "demux/msg", "batched[%]")
+		for range scaleNs {
+			r := vs[idx].(ScaleResult)
+			idx++
+			fmt.Fprintf(&b, "    %5d  %6d  %11.2f  %9.1f  %8.1f  %8.1f  %8.1f  %9.1f  %10.1f\n",
+				r.N, r.Msgs, r.ThrMsgMs, r.MeanUs, r.P50Us, r.P99Us,
+				r.CycPerMsg, r.DemuxPerMsg, r.BatchedPct)
+		}
+	}
+	return b.String()
+}

@@ -132,6 +132,14 @@ func (c *Ctx) Entry() aegis.RingEntry { return c.mc.Entry }
 // handlers declare their modeled access costs via Straightline/Load/Store.
 func (c *Ctx) Data() []byte { return c.mc.Data() }
 
+// Striped reports whether the message sits in an Ethernet buffer in the
+// striping DMA's alternating data/pad layout (see RawData).
+func (c *Ctx) Striped() bool { return c.mc.Striped }
+
+// RawData returns the message buffer as the device laid it out; for
+// striped arrivals index it through aegis.StripedIndex.
+func (c *Ctx) RawData() []byte { return c.mc.RawData() }
+
 // Charge adds raw cycles.
 func (c *Ctx) Charge(cycles sim.Time) { c.mc.Charge(cycles) }
 

@@ -142,18 +142,26 @@ func (e *Engine) Len() int { return len(e.filters) }
 const trieStepCycles = CompiledCyclesPerAtom + 2
 
 // Demux classifies a packet in one trie walk. It returns the most specific
-// matching filter (deepest terminal), the modeled cycle cost, and whether
-// any filter matched.
+// matching filter (deepest terminal, ties broken toward the oldest
+// install), the modeled cycle cost, and whether any filter matched.
+//
+// The walk is exhaustive over matching branches: a node can discriminate on
+// several distinct fields (a 4-atom listener filter and a 6-atom
+// per-connection filter diverge into sibling branches at their common
+// prefix), and the deepest terminal must win regardless of which branch was
+// installed first. Each branch examined at a visited node charges one
+// generated-code trie step, so the cost stays O(depth × branching), not
+// O(filters).
 func (e *Engine) Demux(pkt []byte) (FilterID, sim.Time, bool) {
 	var cycles sim.Time
 	best := FilterID(0)
+	bestDepth := -1
 	found := false
-	n := e.root
-	for n != nil {
-		if n.hasTermnal {
-			best, found = n.terminal, true
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.hasTermnal && (depth > bestDepth || depth == bestDepth && (!found || n.terminal < best)) {
+			best, bestDepth, found = n.terminal, depth, true
 		}
-		var next *node
 		for _, b := range n.branches {
 			cycles += trieStepCycles
 			v, ok := field(pkt, b.k.off, b.k.size)
@@ -161,18 +169,20 @@ func (e *Engine) Demux(pkt []byte) (FilterID, sim.Time, bool) {
 				continue
 			}
 			if kid := b.kids[v&b.k.mask]; kid != nil {
-				next = kid
-				break
+				walk(kid, depth+1)
 			}
 		}
-		n = next
 	}
+	walk(e.root, 0)
 	return best, cycles, found
 }
 
 // DemuxLinear classifies a packet by trying every installed filter in turn
 // with the interpreted matcher — the MPF-class baseline the paper compares
-// DPF against. Returns the first match in id order.
+// DPF against. It scans all filters and returns the most specific match
+// (most atoms, ties broken toward the lowest id) so its dispatch decision
+// agrees with the trie's deepest-terminal rule; the cost of the full scan
+// is what the trie's one-pass walk is measured against.
 func (e *Engine) DemuxLinear(pkt []byte) (FilterID, sim.Time, bool) {
 	var cycles sim.Time
 	ids := make([]FilterID, 0, len(e.filters))
@@ -180,12 +190,15 @@ func (e *Engine) DemuxLinear(pkt []byte) (FilterID, sim.Time, bool) {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	best := FilterID(0)
+	bestAtoms := -1
+	found := false
 	for _, id := range ids {
 		ok, c := Interpret(e.filters[id], pkt)
 		cycles += c
-		if ok {
-			return id, cycles, true
+		if ok && len(e.filters[id].Atoms) > bestAtoms {
+			best, bestAtoms, found = id, len(e.filters[id].Atoms), true
 		}
 	}
-	return 0, cycles, false
+	return best, cycles, found
 }

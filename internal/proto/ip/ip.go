@@ -17,7 +17,13 @@ type Addr [4]byte
 func V4(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
 
 // HostAddr is the conventional address of switch port n in this testbed.
-func HostAddr(port int) Addr { return V4(10, 0, 0, byte(port+1)) }
+// The host number spreads across the low two octets so fan-in worlds with
+// hundreds of ports get distinct addresses (port 0 → 10.0.0.1, port 254 →
+// 10.0.0.255, port 255 → 10.0.1.0, ...).
+func HostAddr(port int) Addr {
+	n := port + 1
+	return V4(10, 0, byte(n>>8), byte(n))
+}
 
 // String formats dotted quad.
 func (a Addr) String() string { return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3]) }

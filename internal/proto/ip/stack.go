@@ -80,18 +80,16 @@ const ReasmSlots = 4
 // ReasmTimeout is how long fragments are held (RFC 791 suggests 15s+).
 const reasmTimeoutUs = 2_000_000 // 2 simulated seconds
 
-// NewStack builds an IP instance for the endpoint's owner.
+// NewStack builds an IP instance for the endpoint's owner. Reassembly
+// buffers are allocated lazily on first fragment arrival (see allocSlot):
+// unfragmented workloads never pay the ReasmSlots×64-KB footprint, which
+// is what lets a many-hundred-client fan-in world run hundreds of stacks
+// inside small kernels.
 func NewStack(ep link.Endpoint, local Addr, res Resolver) *Stack {
-	s := &Stack{
+	return &Stack{
 		Ep: ep, Local: local, Res: res, Costs: DefaultCosts(),
 		reasm: map[reasmKey]*reasmBuf{},
 	}
-	for i := 0; i < ReasmSlots; i++ {
-		s.slots = append(s.slots, &reasmBuf{
-			seg: ep.Owner().AS.MustAlloc(ReasmBufSize, fmt.Sprintf("ip-reasm-%d", i)),
-		})
-	}
-	return s
 }
 
 // MTU is the largest IP datagram the link carries unfragmented.
@@ -330,6 +328,17 @@ func (s *Stack) allocSlot(now sim.Time) *reasmBuf {
 	for _, sl := range s.slots {
 		if !sl.inUse {
 			sl.inUse = true
+			return sl
+		}
+	}
+	if len(s.slots) < ReasmSlots {
+		// First fragments to need a slot grow the pool, up to ReasmSlots.
+		// An allocation failure just drops this fragment — reassembly is
+		// best-effort and the sender retransmits.
+		seg, err := s.Ep.Owner().AS.Alloc(ReasmBufSize, fmt.Sprintf("ip-reasm-%d", len(s.slots)))
+		if err == nil {
+			sl := &reasmBuf{seg: seg, inUse: true}
+			s.slots = append(s.slots, sl)
 			return sl
 		}
 	}

@@ -88,6 +88,17 @@ func (f *fastPath) abort(isData bool) aegis.Disposition {
 	return aegis.DispToUser
 }
 
+// fastHdrMax bounds the header region the handler gathers out of a
+// striped buffer: link header + maximum IP header + maximum TCP header.
+const fastHdrMax = 160
+
+// fastStripedMax is the largest striped payload the handler moves itself
+// (with checked byte accesses through the stripe); larger segments defer
+// to the stripe-aware library. Small enough that the bytewise move stays
+// cheaper than the library path, large enough for small-message ping-pong
+// traffic — the workload this placement exists for.
+const fastStripedMax = 2 * aegis.StripeChunk
+
 // handle is the handler body. It models its straight-line protocol code
 // with explicit instruction counts (the paper's remote-increment handler
 // measures a 90-instruction base; header prediction is of that order) and
@@ -95,21 +106,37 @@ func (f *fastPath) abort(isData bool) aegis.Disposition {
 func (f *fastPath) handle(ctx *core.Ctx) aegis.Disposition {
 	c := f.c
 	e := ctx.Entry()
-	data := ctx.Data()
 
 	// Parse IP + TCP headers and run the prediction checks: ~90
 	// instructions, mostly loads from the (uncached) message.
 	ctx.Straightline(90, 14)
 
-	// The handler's direct message addressing assumes the AN2's contiguous
-	// DMA layout (Table VI runs over the AN2); on the Ethernet's striped
-	// buffers it defers to the library, which is stripe-aware.
 	ipOff := c.St.LinkHdrLen
-	if ipOff != 0 {
+	n := e.Len
+	if n < ipOff+ip.HeaderLen+HeaderLen {
 		return f.abort(false)
 	}
-	if len(data) < ipOff+ip.HeaderLen+HeaderLen {
-		return f.abort(false)
+	// Over the AN2 the DMA layout is contiguous and the message is
+	// addressed in place. The Ethernet's DMA leaves the frame *striped*
+	// (16 data bytes, 16 pad, repeating): the handler gathers the header
+	// region into a scratch with word reads through the stripe and only
+	// handles small payloads itself (see fastStripedMax).
+	striped := ctx.Striped()
+	var data, raw []byte
+	if striped {
+		raw = ctx.RawData()
+		hdrN := n
+		if hdrN > fastHdrMax {
+			hdrN = fastHdrMax
+		}
+		hdr := make([]byte, hdrN)
+		for i := range hdr {
+			hdr[i] = raw[aegis.StripedIndex(i)]
+		}
+		ctx.Straightline(hdrN/2, hdrN/4)
+		data = hdr
+	} else {
+		data = ctx.Data()
 	}
 	if data[ipOff]>>4 != 4 || data[ipOff+9] != ip.ProtoTCP {
 		return f.abort(false)
@@ -129,7 +156,7 @@ func (f *fastPath) handle(ctx *core.Ctx) aegis.Disposition {
 		return f.abort(false)
 	}
 	plen := totalLen - ihl - dataOff
-	if plen < 0 || tcpOff+dataOff+plen > len(data) {
+	if plen < 0 || tcpOff+dataOff+plen > n {
 		return f.abort(false)
 	}
 	isData := plen > 0
@@ -160,31 +187,47 @@ func (f *fastPath) handle(ctx *core.Ctx) aegis.Disposition {
 		if c.hrTail-c.hrHead+plen > c.Cfg.Window {
 			return f.abort(isData) // no ring space: library path decides
 		}
-		// Integrated checksum-and-copy straight into the application's
-		// receive ring via dynamic ILP.
-		srcAddr := e.Addr + uint32(tcpOff+dataOff)
 		var acc uint32
 		w := c.Cfg.Window
-		pos := c.hrTail % w
 		aligned := plen &^ 3
-		first := min(aligned, w-pos)
-		first &^= 3
-		a1, errD := ctx.DILP(f.engID, srcAddr, c.hring.Base+uint32(pos), first)
-		if errD != nil {
-			return f.abort(isData)
-		}
-		acc = a1
-		if aligned > first {
-			a2, errD := ctx.DILP(f.engID, srcAddr+uint32(first), c.hring.Base, aligned-first)
+		if striped {
+			// Striped small-message path: every payload byte moves with a
+			// checked access through the stripe. DILP's word loop would
+			// fault on the pad lines, so the handler caps what it moves.
+			if plen > fastStripedMax {
+				return f.abort(isData)
+			}
+			aligned = 0
+		} else {
+			// Integrated checksum-and-copy straight into the application's
+			// receive ring via dynamic ILP.
+			srcAddr := e.Addr + uint32(tcpOff+dataOff)
+			pos := c.hrTail % w
+			first := min(aligned, w-pos)
+			first &^= 3
+			a1, errD := ctx.DILP(f.engID, srcAddr, c.hring.Base+uint32(pos), first)
 			if errD != nil {
 				return f.abort(isData)
 			}
-			acc = cksum32Add(acc, a2)
+			acc = a1
+			if aligned > first {
+				a2, errD := ctx.DILP(f.engID, srcAddr+uint32(first), c.hring.Base, aligned-first)
+				if errD != nil {
+					return f.abort(isData)
+				}
+				acc = cksum32Add(acc, a2)
+			}
 		}
-		// Odd tail (< 4 bytes): moved with checked single-byte accesses.
+		// Remaining bytes (the < 4-byte tail, or the whole striped
+		// payload): moved with checked single-byte accesses.
 		for i := aligned; i < plen; i++ {
 			ctx.Straightline(3, 2)
-			b := data[tcpOff+dataOff+i]
+			var b byte
+			if striped {
+				b = raw[aegis.StripedIndex(tcpOff+dataOff+i)]
+			} else {
+				b = data[tcpOff+dataOff+i]
+			}
 			dstPos := (c.hrTail + i) % w
 			f.ringBytes()[dstPos] = b
 			if i%2 == 0 {

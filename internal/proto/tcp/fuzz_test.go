@@ -1,0 +1,52 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTCPHeader exercises the wire-header parser: Parse must reject
+// anything shorter than 20 bytes or with a data offset outside
+// [HeaderLen, len(b)], and for every header it does accept, the parsed
+// fields must re-marshal to the original 20 header bytes whenever the
+// segment carries no options (the only form Marshal emits).
+func FuzzTCPHeader(f *testing.F) {
+	good := (&Header{SrcPort: 1234, DstPort: 80, Seq: 1007, Ack: 160013,
+		Flags: ACK | PSH, Window: 8192, Checksum: 0xbeef}).Marshal(nil)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:19])
+	opts := append([]byte(nil), good...)
+	opts[12] = 6 << 4 // claims 24-byte header
+	f.Add(append(opts, 0x01, 0x01, 0x01, 0x00))
+	f.Add(make([]byte, 64))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, off, err := Parse(b)
+		if err != nil {
+			if len(b) >= HeaderLen && b[12]>>4 >= 5 && int(b[12]>>4)*4 <= len(b) {
+				t.Fatalf("rejected well-formed header: %v", err)
+			}
+			return
+		}
+		if len(b) < HeaderLen {
+			t.Fatalf("accepted %d-byte header", len(b))
+		}
+		if off < HeaderLen || off > len(b) {
+			t.Fatalf("accepted data offset %d for %d bytes", off, len(b))
+		}
+		if h.Flags&^(FIN|SYN|RST|PSH|ACK|URG) != 0 {
+			t.Fatalf("parsed flags %#x outside the 6 control bits", uint8(h.Flags))
+		}
+		if off == HeaderLen {
+			// Option-free headers round-trip bit-exactly, modulo the
+			// reserved bits Parse masks off and Marshal emits as zero.
+			want := append([]byte(nil), b[:HeaderLen]...)
+			want[12] &= 0xf0
+			want[13] &= 0x3f
+			if got := h.Marshal(nil); !bytes.Equal(got, want) {
+				t.Fatalf("round trip % x != % x", got, want)
+			}
+		}
+	})
+}
