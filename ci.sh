@@ -1,7 +1,11 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, tests (with the race detector), and
-# staticcheck when it is installed. Run from the repo root.
+# CI gate: formatting, vet, ashlint (the repo's own analyzers), build,
+# tests (with the race detector), and staticcheck when it is installed.
+# Run from the repo root.
 set -eu
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
 
 echo "== gofmt"
 badfmt=$(gofmt -l .)
@@ -16,6 +20,17 @@ go vet ./...
 
 echo "== go build"
 go build ./...
+
+# ashlint: the custom analyzer suite (determinism, obsguard,
+# lockdiscipline, allocdiscipline — see DESIGN.md §12). Run standalone
+# for module-wide coverage, then through go vet's -vettool protocol so
+# the unit-checker path stays working.
+echo "== ashlint (standalone)"
+go run ./cmd/ashlint ./...
+
+echo "== ashlint (go vet -vettool)"
+go build -o "$workdir/ashlint" ./cmd/ashlint
+go vet -vettool="$workdir/ashlint" ./...
 
 echo "== go test -race"
 go test -race ./...
@@ -34,8 +49,7 @@ echo "== observability plane (PRNG + trace/metrics unit tests)"
 go test -race -count=1 ./internal/obs/ ./internal/sim/
 
 echo "== breakdown trace determinism (byte-identical across runs)"
-tracedir=$(mktemp -d)
-trap 'rm -rf "$tracedir"' EXIT
+tracedir="$workdir"
 go run ./cmd/ashbench -experiment breakdown -trace "$tracedir/a.json" >/dev/null
 go run ./cmd/ashbench -experiment breakdown -trace "$tracedir/b.json" >/dev/null
 if ! cmp -s "$tracedir/a.json" "$tracedir/b.json"; then
@@ -62,6 +76,15 @@ go build -o "$tracedir/ashbench" ./cmd/ashbench
 if ! cmp -s "$tracedir/serial.txt" "$tracedir/parallel.txt"; then
     echo "ashbench output differs between -parallel=1 and the default pool"
     diff "$tracedir/serial.txt" "$tracedir/parallel.txt" | head -40
+    exit 1
+fi
+
+# The committed reference output must match what the tree produces: any
+# behavior change has to regenerate ashbench_output.txt deliberately.
+echo "== ashbench output matches committed ashbench_output.txt"
+if ! cmp -s ashbench_output.txt "$tracedir/serial.txt"; then
+    echo "ashbench output diverged from the committed ashbench_output.txt"
+    diff ashbench_output.txt "$tracedir/serial.txt" | head -40
     exit 1
 fi
 
@@ -95,6 +118,14 @@ fi
 echo "== bench runner determinism under -race"
 go test -race -count=1 ./internal/bench/runner/
 go test -race -count=1 -run 'TestParallelByteIdentical|TestParallelChaosMatchesSerial' ./internal/bench/
+
+# Hot-path microbenchmarks: a short sweep proves the fixtures still run
+# and the trie walk is still allocation-free. The committed
+# BENCH_hotpath.json snapshot is regenerated by hand (cmd/hotpathbench)
+# when the hot paths change, not here — CI machines vary too much for a
+# numeric gate.
+echo "== hot-path microbenchmarks (smoke)"
+go test -run '^Test' -bench . -benchtime 0.1s ./internal/bench/hotpath/
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck"

@@ -351,7 +351,9 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 	default:
 		mc.Charge(intr + sim.Time(prof.DeviceRxService+prof.DemuxVCCycles))
 		o.Span(a.K.Name, "device", "device", "an2 rx demux", mc.t0, mc.Cost())
-		o.Inc("aegis/" + a.K.Name + "/interrupts")
+		if o.Enabled() {
+			o.Inc("aegis/" + a.K.Name + "/interrupts")
+		}
 	}
 
 	// "ASHs are invoked directly from the AN2 device driver, just after it

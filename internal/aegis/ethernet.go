@@ -210,7 +210,9 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 	o := e.K.Obs
 	mc.Charge(intr + sim.Time(prof.DeviceRxService) + demuxCycles)
 	o.Span(e.K.Name, "device", "device", "eth rx demux", mc.t0, mc.Cost())
-	o.Inc("aegis/" + e.K.Name + "/interrupts")
+	if o.Enabled() {
+		o.Inc("aegis/" + e.K.Name + "/interrupts")
+	}
 
 	if b.Handler != nil {
 		s0 := mc.When()

@@ -104,7 +104,9 @@ func (k *Kernel) AllocPhys(n int, why string) (uint32, error) {
 	line := uint32(k.Prof.LineBytes)
 	base := (k.brk + line - 1) &^ (line - 1)
 	if uint64(base)+uint64(n) > HostMemBase+uint64(k.memSize) {
-		k.Obs.Inc("aegis/" + k.Name + "/alloc_failures")
+		if o := k.Obs; o.Enabled() {
+			o.Inc("aegis/" + k.Name + "/alloc_failures")
+		}
 		return 0, fmt.Errorf("aegis %s: out of physical memory allocating %d for %s",
 			k.Name, n, why)
 	}

@@ -40,8 +40,10 @@ func (u *Upcall) dispatch(mc *MsgCtx) Disposition {
 	// The span covers only the dispatch machinery; the handler body
 	// accounts for itself (ASH-backed upcalls emit their own "ash" span,
 	// so wrapping Fn here would double-count).
-	k.Obs.Span(k.Name, "device", "upcall", "upcall "+u.Owner.Name, s0, mc.When()-s0)
-	k.Obs.Inc("aegis/" + k.Name + "/upcalls")
+	if o := k.Obs; o.Enabled() {
+		o.Span(k.Name, "device", "upcall", "upcall "+u.Owner.Name, s0, mc.When()-s0)
+		o.Inc("aegis/" + k.Name + "/upcalls")
+	}
 	mc.userLevel = true
 	d := u.Fn(mc)
 	mc.userLevel = false

@@ -1,0 +1,105 @@
+// Package hotpath holds wall-clock microbenchmarks for the simulator's
+// two hottest loops: the DPF discrimination-trie walk (every delivered
+// packet) and the event-queue schedule/dispatch cycle (every simulated
+// action). The bodies live here, outside a _test.go file, so both
+// `go test -bench` (internal/bench/hotpath) and the JSON-emitting
+// harness (cmd/hotpathbench) run exactly the same code — the committed
+// BENCH_hotpath.json numbers are the numbers the bench wrappers measure.
+package hotpath
+
+import (
+	"testing"
+
+	"ashs/internal/dpf"
+	"ashs/internal/sim"
+)
+
+const (
+	// Filters is the installed-filter population for the trie walk — the
+	// many-client fan-in shape of the scale experiment, where each client
+	// contributes one UDP port filter.
+	Filters = 512
+
+	// QueueDepth is the steady-state event population for the queue
+	// benchmark: deep enough that heap reshuffles dominate, shallow
+	// enough to stay cache-resident like a real run.
+	QueueDepth = 1024
+)
+
+// NewLoadedEngine builds a DPF engine with Filters per-client UDP port
+// filters installed and returns it with a 64-byte packet that matches
+// the median filter.
+func NewLoadedEngine() (*dpf.Engine, []byte) {
+	e := dpf.NewEngine()
+	for i := 0; i < Filters; i++ {
+		f := dpf.NewFilter().
+			Eq16(12, 0x0800).        // ethertype IP
+			Eq8(23, 17).             // protocol UDP
+			Eq16(36, uint16(1000+i)) // destination port
+		if _, err := e.Insert(f); err != nil {
+			panic(err)
+		}
+	}
+	pkt := make([]byte, 64)
+	port := uint16(1000 + Filters/2)
+	pkt[12], pkt[13] = 0x08, 0x00
+	pkt[23] = 17
+	pkt[36], pkt[37] = byte(port>>8), byte(port)
+	return e, pkt
+}
+
+// DPFTrieWalk measures one Demux through the discrimination trie with
+// Filters filters installed: shared atoms are tested once, then the
+// port atom discriminates by hash — the walk the paper's dynamic code
+// generation argument is about.
+func DPFTrieWalk(b *testing.B) {
+	e, pkt := NewLoadedEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := e.Demux(pkt); !ok {
+			b.Fatal("demux missed")
+		}
+	}
+}
+
+// DPFLinearScan is the MPF-style baseline: the same population demuxed
+// by scanning filters one at a time. Kept beside DPFTrieWalk so the
+// committed numbers document the gap the trie buys.
+func DPFLinearScan(b *testing.B) {
+	e, pkt := NewLoadedEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := e.DemuxLinear(pkt); !ok {
+			b.Fatal("demux missed")
+		}
+	}
+}
+
+// SimEventQueue measures one schedule+dispatch through the event heap
+// at a steady depth of QueueDepth events: each fired event reschedules
+// itself QueueDepth ticks out, so every iteration is exactly one heap
+// pop and one push at full depth.
+func SimEventQueue(b *testing.B) {
+	eng := sim.NewEngine()
+	fired := 0
+	for i := 0; i < QueueDepth; i++ {
+		var self func()
+		self = func() {
+			fired++
+			eng.Schedule(QueueDepth, self)
+		}
+		eng.ScheduleAt(sim.Time(i), self)
+	}
+	// One event fires per tick (initial events sit on distinct ticks and
+	// every reschedule preserves that), so running through tick b.N-1
+	// dispatches exactly b.N events.
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.RunUntil(sim.Time(b.N - 1))
+	b.StopTimer()
+	if fired != b.N {
+		b.Fatalf("fired %d events, want %d", fired, b.N)
+	}
+}

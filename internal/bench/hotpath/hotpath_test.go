@@ -1,0 +1,45 @@
+package hotpath
+
+import "testing"
+
+func BenchmarkDPFTrieWalk(b *testing.B)   { DPFTrieWalk(b) }
+func BenchmarkDPFLinearScan(b *testing.B) { DPFLinearScan(b) }
+func BenchmarkSimEventQueue(b *testing.B) { SimEventQueue(b) }
+
+// TestBodiesRun drives each benchmark body through testing.Benchmark —
+// the exact harness cmd/hotpathbench uses — so a fixture regression
+// fails `go test` even when -bench is not passed.
+func TestBodiesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark bodies are slow under -short")
+	}
+	for _, bm := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"DPFTrieWalk", DPFTrieWalk},
+		{"DPFLinearScan", DPFLinearScan},
+		{"SimEventQueue", SimEventQueue},
+	} {
+		if r := testing.Benchmark(bm.fn); r.N == 0 {
+			t.Errorf("%s did not run", bm.name)
+		}
+	}
+}
+
+// TestLoadedEngineShape pins the fixture: the trie and the linear scan
+// must agree on the demux result for the benchmark packet.
+func TestLoadedEngineShape(t *testing.T) {
+	e, pkt := NewLoadedEngine()
+	if e.Len() != Filters {
+		t.Fatalf("engine has %d filters, want %d", e.Len(), Filters)
+	}
+	id, _, ok := e.Demux(pkt)
+	if !ok {
+		t.Fatal("trie demux missed the benchmark packet")
+	}
+	lid, _, lok := e.DemuxLinear(pkt)
+	if !lok || lid != id {
+		t.Fatalf("linear demux disagrees: got (%v,%v), want (%v,true)", lid, lok, id)
+	}
+}

@@ -61,7 +61,10 @@ func (n *Node) AddSegment(size int, name string) (int, aegis.Segment, error) {
 	if n.nsegs >= MaxSegments {
 		return 0, aegis.Segment{}, fmt.Errorf("crl: segment table full")
 	}
-	seg := n.Owner.AS.MustAlloc(size, "crl-"+name)
+	seg, err := n.Owner.AS.Alloc(size, "crl-"+name)
+	if err != nil {
+		return 0, aegis.Segment{}, err
+	}
 	id := n.nsegs
 	n.nsegs++
 	n.segs = append(n.segs, seg)

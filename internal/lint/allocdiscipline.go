@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AllocDiscipline enforces the no-panic-on-the-data-path allocation
+// contract (the PR 3 bug class: AllocPhys exhaustion panicking a live
+// kernel mid-experiment).
+//
+// Must* helpers (MustAlloc, MustAssemble, ...) panic on failure. That is
+// the right contract at build time — a world that cannot allocate its
+// fixed rings is a configuration error — but on a runtime path it turns
+// a recoverable out-of-memory into a crashed simulation. The analyzer
+// flags Must* calls outside build-time setup contexts:
+//
+//   - functions named New*/Boot*/Build*/Setup*/Install*/install*/init/
+//     main, or themselves Must* wrappers,
+//   - handler-constructor functions returning *vcode.Program (code
+//     generation runs at download time by construction),
+//   - package-level variable initializers.
+//
+// It also flags calls to the error-returning allocators (Alloc,
+// AllocPhys) whose error result is discarded — the half-way failure
+// mode where the error exists but nobody looks.
+var AllocDiscipline = &Analyzer{
+	Name: "allocdiscipline",
+	Doc: "Must* allocation helpers only on build-time setup paths; " +
+		"Alloc/AllocPhys errors must be checked",
+	// The simulated system is in scope; internal/bench and examples/ are
+	// harness code where Must* is the intended API — an experiment world
+	// that fails to build should panic, like a test.
+	Scope: func(p string) bool {
+		return pathIn(p, "ashs") &&
+			!pathIn(p, "ashs/internal/bench") &&
+			!pathIn(p, "ashs/examples")
+	},
+	Run: runAllocDiscipline,
+}
+
+var setupFuncPrefixes = []string{"New", "Boot", "Build", "Setup", "Install", "install", "Must", "must"}
+
+func isSetupFuncName(name string) bool {
+	if name == "init" || name == "main" {
+		return true
+	}
+	for _, p := range setupFuncPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsVCodeProgram reports whether the function's results include
+// *vcode.Program — the signature of a handler constructor.
+func returnsVCodeProgram(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, r := range ft.Results.List {
+		tv, ok := pass.Info.Types[r.Type]
+		if !ok {
+			continue
+		}
+		n := namedOf(tv.Type)
+		if n != nil && n.Obj().Name() == "Program" &&
+			n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "ashs/internal/vcode" {
+			return true
+		}
+	}
+	return false
+}
+
+func runAllocDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkMustCall(pass, call, stack)
+			return true
+		})
+		// Unchecked allocator errors: inspect statements, not bare calls,
+		// so we can see how the results are bound.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := allocatorCall(pass, call); ok {
+						pass.Reportf(call.Pos(),
+							"result and error of %s discarded; check the error (the PR 3 panic class began as an unchecked allocation)", name)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := allocatorCall(pass, call)
+				if !ok {
+					return true
+				}
+				// The error is the last result; `_` there is a discard.
+				if len(n.Lhs) >= 2 {
+					if id, ok := ast.Unparen(n.Lhs[len(n.Lhs)-1]).(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(n.Pos(),
+							"error from %s assigned to _; propagate it instead of allocating blind", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMustCall flags calls to Must*-named functions/methods outside
+// setup contexts.
+func checkMustCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	var callee string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	default:
+		return
+	}
+	if !strings.HasPrefix(callee, "Must") {
+		return
+	}
+	// Resolve to a function or method (not a type conversion or field).
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	}
+	if _, isFunc := pass.Info.Uses[id].(*types.Func); !isFunc {
+		return
+	}
+
+	// Find the enclosing function; package-level initializers (no
+	// enclosing FuncDecl) are build-time by definition.
+	fd := enclosingFuncDecl(stack)
+	if fd == nil {
+		return
+	}
+	if isSetupFuncName(fd.Name.Name) || returnsVCodeProgram(pass, fd.Type) {
+		return
+	}
+	// A function literal inside a setup function inherits its context.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok && returnsVCodeProgram(pass, fl.Type) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s on a runtime path (in %s); Must* helpers panic on failure — "+
+			"use the error-returning form and propagate", callee, fd.Name.Name)
+}
+
+// allocatorCall matches calls to the error-returning allocators: methods
+// named Alloc or AllocPhys whose last result is an error.
+func allocatorCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Alloc" && sel.Sel.Name != "AllocPhys" {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() < 2 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return types.ExprString(sel), true
+}

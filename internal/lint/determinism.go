@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the serial-vs-parallel byte-identity contract: in
+// the simulator's deterministic core (internal/sim, internal/bench,
+// internal/netdev, internal/aegis, internal/proto/...), forbid wall-clock
+// time sources, the global math/rand source, and map iteration with
+// order-dependent effects. These are exactly the bug classes that would
+// silently break the `cmp` gates in ci.sh: wall-clock and the global
+// PRNG vary run to run, and Go randomizes map iteration order per run.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, the global math/rand source, and " +
+		"order-dependent map iteration in the deterministic simulator core",
+	Scope: scopeAny(
+		"ashs/internal/sim",
+		"ashs/internal/bench",
+		"ashs/internal/netdev",
+		"ashs/internal/aegis",
+		"ashs/internal/proto",
+	),
+	Run: runDeterminism,
+}
+
+// wall-clock time sources; the simulator's only clock is sim.Engine.Now.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// math/rand package-level constructors that do NOT draw from the global
+// source (and so are deterministic when seeded explicitly).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pkg, name := pkgFunc(pass.Info, n)
+				switch {
+				case pkg == "time" && wallClockFuncs[name]:
+					pass.Reportf(n.Pos(),
+						"wall-clock time.%s in deterministic code; use the virtual clock (sim.Engine.Now)", name)
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+					pass.Reportf(n.Pos(),
+						"global math/rand source (rand.%s) in deterministic code; use a seeded sim.Rand", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags `range m` over a map whose loop body has
+// order-dependent effects. Go randomizes map iteration order, so any
+// effect that differs under permutation — rendered output, channel
+// sends, event-queue insertion, order-sensitive writes — makes two
+// identical runs diverge. The loop is accepted only when every write it
+// performs is order-insensitive:
+//
+//   - writes to variables declared inside the loop body,
+//   - map-index writes (m2[k] = v: keyed, last-writer-irrelevant),
+//   - commutative accumulation (x++, x--, x += e, x |= e, x &= e, x ^= e),
+//   - appends into a slice that the same function later passes to a
+//     sort.* / slices.Sort* call (collect-then-sort idiom),
+//   - delete on a map,
+//   - returns of constant-only values (membership probes).
+//
+// Everything else — calls, sends, go/defer, plain assignment to outer
+// variables — is reported.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	t, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := t.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// Objects declared within the loop body (including the key/value
+	// vars) — writes to these are order-local.
+	local := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, isDef := pass.Info.Defs[id]; isDef && obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Slices sorted after the loop in the same function: appends to
+	// them inside the loop are the blessed collect-then-sort idiom.
+	sortedAfter := sortedSlices(pass, rng, stack)
+
+	objOf := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			return pass.Info.Uses[id]
+		}
+		return nil
+	}
+
+	var report func(pos token.Pos, what string)
+	reported := false
+	report = func(pos token.Pos, what string) {
+		if reported {
+			return // one finding per loop is enough signal
+		}
+		reported = true
+		pass.Reportf(pos, "map iteration with order-dependent effect (%s); "+
+			"iteration order is randomized — sort the keys first or justify with //lint:ignore ashlint/determinism", what)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send")
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "goroutine launch")
+			return false
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer")
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if !isConst(pass.Info, r) {
+					report(n.Pos(), "return of iteration-dependent value")
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			return true // commutative
+		case *ast.ExprStmt:
+			// Standalone calls: only order-insensitive builtins pass.
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "delete" {
+						return true
+					}
+				}
+				report(n.Pos(), "call with potentially order-dependent effects")
+				return false
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+				token.AND_ASSIGN, token.XOR_ASSIGN, token.DEFINE:
+				return true // commutative accumulation / local declaration
+			}
+			for i, lhs := range n.Lhs {
+				lhs := ast.Unparen(lhs)
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := pass.Info.Uses[id]
+					if obj == nil || local[obj] || id.Name == "_" {
+						continue
+					}
+					// s = append(s, ...) into a later-sorted slice.
+					if i < len(n.Rhs) {
+						if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+							if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fid.Name == "append" {
+								if _, isBuiltin := pass.Info.Uses[fid].(*types.Builtin); isBuiltin &&
+									len(call.Args) > 0 && objOf(call.Args[0]) == obj && sortedAfter[obj] {
+									continue
+								}
+							}
+						}
+					}
+					report(n.Pos(), "write to variable declared outside the loop")
+					return false
+				}
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if tv, ok := pass.Info.Types[ix.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							continue // keyed write, order-insensitive
+						}
+					}
+				}
+				// sl.field = v where sl is the loop value (or another
+				// loop-local): a per-entry store through a distinct
+				// pointer each iteration, order-insensitive as long as
+				// entries don't alias.
+				if obj := rootObj(pass.Info, lhs); obj != nil && local[obj] {
+					continue
+				}
+				report(n.Pos(), "order-sensitive write")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// rootObj strips selectors, indexes, derefs, and parens from an
+// assignable expression and resolves its base identifier.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedSlices collects the objects of slice variables that, after the
+// range statement and within the same enclosing function, appear as an
+// argument to a sort.* or slices.* call.
+func sortedSlices(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	var fnBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			fnBody = fn.Body
+		case *ast.FuncLit:
+			fnBody = fn.Body
+		}
+		if fnBody != nil {
+			break
+		}
+	}
+	if fnBody == nil {
+		return out
+	}
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		pkg, _ := pkgFunc(pass.Info, call)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}

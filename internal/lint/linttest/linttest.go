@@ -1,0 +1,147 @@
+// Package linttest is ashlint's analysistest: it runs one analyzer over
+// a golden testdata package and checks the diagnostics against `// want`
+// comments in the source.
+//
+// A want comment holds one or more double-quoted regular expressions:
+//
+//	x := time.Now() // want "wall-clock"
+//	y := f()        // want "first finding" "second finding"
+//
+// Every want pattern must be matched by a diagnostic on its line, and
+// every diagnostic must be matched by a want pattern — the test fails in
+// both directions, so the golden files pin the analyzer's exact
+// behavior: each seeded violation fails, each idiomatic fix passes.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"ashs/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader for the whole test binary: the
+// standard-library source importer type-checks each stdlib dependency
+// once, however many analyzer tests run.
+func sharedLoader() (*lint.Loader, error) {
+	loaderOnce.Do(func() {
+		_, file, _, ok := runtime.Caller(0)
+		if !ok {
+			loaderErr = fmt.Errorf("linttest: cannot locate source file")
+			return
+		}
+		root, err := lint.FindModRoot(filepath.Dir(file))
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = lint.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+// LoadPackage loads internal/lint/testdata/src/<pkg> with the shared
+// loader, under the synthetic import path <pkg>.
+func LoadPackage(t *testing.T, pkg string) *lint.Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(l.ModRoot, "internal", "lint", "testdata", "src", pkg)
+	p, err := l.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Run loads internal/lint/testdata/src/<pkg> and applies a (through the
+// same lint.Run path the driver uses, so ignore directives are honored),
+// then checks diagnostics against the package's want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkg string) {
+	t.Helper()
+	p := LoadPackage(t, pkg)
+	diags, err := lint.Run(p, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, p)
+	var surplus []string
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			surplus = append(surplus, fmt.Sprintf("%s:%d: unexpected diagnostic: ashlint/%s: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message))
+		}
+	}
+	sort.Strings(surplus)
+	for _, s := range surplus {
+		t.Error(s)
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q",
+				filepath.Base(w.file), w.line, w.re.String())
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var (
+	wantRE = regexp.MustCompile(`// want (.*)$`)
+	quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// collectWants scans each file's comments for want expectations.
+func collectWants(t *testing.T, p *lint.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+					pat := strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(q[1])
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}

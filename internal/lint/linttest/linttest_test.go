@@ -1,0 +1,43 @@
+package linttest
+
+import (
+	"testing"
+
+	"ashs/internal/lint"
+)
+
+// TestRunGoldenPackage drives the harness end to end over a real golden
+// package: every want must match, every diagnostic must be wanted.
+func TestRunGoldenPackage(t *testing.T) {
+	Run(t, lint.Determinism, "determinism")
+}
+
+// TestLoadPackageSharesLoader loads two packages and checks the shared
+// loader caches across calls (the same *Package pointer comes back).
+func TestLoadPackageSharesLoader(t *testing.T) {
+	a := LoadPackage(t, "ignores")
+	b := LoadPackage(t, "ignores")
+	if a != b {
+		t.Error("LoadPackage reloaded a cached package")
+	}
+	if a.Path != "ignores" {
+		t.Errorf("package path = %q, want %q", a.Path, "ignores")
+	}
+	if len(a.Files) == 0 || a.Types == nil || a.Info == nil {
+		t.Error("loaded package is missing syntax or type information")
+	}
+}
+
+// TestCollectWants parses the want comments of a golden file directly.
+func TestCollectWants(t *testing.T) {
+	p := LoadPackage(t, "obsguard")
+	wants := collectWants(t, p)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found in obsguard golden file")
+	}
+	for _, w := range wants {
+		if w.re == nil || w.line == 0 || w.file == "" {
+			t.Errorf("malformed want: %+v", w)
+		}
+	}
+}

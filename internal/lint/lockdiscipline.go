@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces the hashed ConnTable's concurrency contract in
+// internal/proto/tcp (the structure that makes the scale experiment safe
+// under the parallel runner):
+//
+//  1. publish-fully-constructed — a *Conn handed to ConnTable.Bind must
+//     not be mutated afterwards in the same function: a field write after
+//     Bind means a concurrent Lookup can observe a half-built
+//     connection. Publishing into a conn bucket map directly (bypassing
+//     Bind) is flagged outside ConnTable's own methods.
+//  2. no bucket lock across Conn calls — Conn methods run the protocol
+//     state machine (which can block on the event loop or re-enter the
+//     table); holding a bucket mutex across one is a deadlock seed.
+//  3. no copies of lock-bearing structs — a bucket copied by value
+//     (range, assignment, call argument) forks its mutex, silently
+//     splitting the critical section. This is go vet's copylocks
+//     narrowed to the package where it guards a stated invariant.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "ConnTable contract: publish fully constructed conns via Bind, " +
+		"never hold a bucket lock across Conn method calls, never copy " +
+		"lock-bearing structs",
+	Scope: scopeAny("ashs/internal/proto/tcp"),
+	Run:   runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBindThenMutate(pass, fd)
+			checkDirectPublish(pass, fd)
+			checkLockHeldAcrossConnCalls(pass, fd)
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			checkLockCopy(pass, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBindThenMutate reports field writes to a *Conn after the same
+// function passed it to ConnTable.Bind.
+func checkBindThenMutate(pass *Pass, fd *ast.FuncDecl) {
+	// Collect (object, Bind-call-end) for conns published in this func.
+	published := map[types.Object]ast.Node{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _, ok := methodOn(pass.Info, call, "", "ConnTable")
+		if !ok || name != "Bind" || len(call.Args) < 2 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if _, exists := published[obj]; !exists {
+					published[obj] = call
+				}
+			}
+		}
+		return true
+	})
+	if len(published) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			bind, wasPublished := published[obj]
+			if wasPublished && as.Pos() > bind.End() {
+				pass.Reportf(as.Pos(),
+					"write to %s.%s after ConnTable.Bind published it; "+
+						"a concurrent Lookup can observe the half-constructed conn — fully construct before Bind",
+					id.Name, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkDirectPublish flags stores into a map[...]​*Conn outside
+// ConnTable's own methods: every publish must flow through Bind, which
+// holds the bucket lock and rejects duplicate tuples.
+func checkDirectPublish(pass *Pass, fd *ast.FuncDecl) {
+	if recvType(pass, fd) == "ConnTable" {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := pass.Info.Types[ix.X]
+			if !ok {
+				continue
+			}
+			m, ok := tv.Type.Underlying().(*types.Map)
+			if !ok {
+				continue
+			}
+			elem := namedOf(m.Elem())
+			if elem != nil && elem.Obj().Name() == "Conn" && elem.Obj().Pkg() == pass.Pkg {
+				pass.Reportf(as.Pos(),
+					"direct store into a conn map outside ConnTable methods; publish through Bind (lock + duplicate check)")
+			}
+		}
+		return true
+	})
+}
+
+// recvType names the receiver's (pointer-stripped) type of a method, or
+// "" for plain functions.
+func recvType(pass *Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := pass.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	if n := namedOf(tv.Type); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// checkLockHeldAcrossConnCalls walks a function body in source order
+// tracking which mutex expressions are locked, and flags Conn method
+// calls made while any is held. A deferred Unlock keeps the mutex held
+// to the end of the function (that is the idiom's point), so everything
+// after the defer is a critical section.
+func checkLockHeldAcrossConnCalls(pass *Pass, fd *ast.FuncDecl) {
+	held := map[string]bool{}
+	var walkStmts func(list []ast.Stmt)
+
+	lockOp := func(call *ast.CallExpr) (op string, key string, ok bool) {
+		sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel {
+			return "", "", false
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return "", "", false
+		}
+		tv, okT := pass.Info.Types[sel.X]
+		if !okT {
+			return "", "", false
+		}
+		n := namedOf(tv.Type)
+		if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+			return "", "", false
+		}
+		if name := n.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+			return "", "", false
+		}
+		return sel.Sel.Name, types.ExprString(ast.Unparen(sel.X)), true
+	}
+
+	// flagConnCalls reports Conn method calls within n while a lock is
+	// held (lock operations themselves excluded).
+	flagConnCalls := func(n ast.Node) {
+		if len(held) == 0 {
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, _, isLockOp := lockOp(call); isLockOp {
+				return true
+			}
+			name, _, ok := methodOn(pass.Info, call, "", "Conn")
+			if ok {
+				for k := range held {
+					pass.Reportf(call.Pos(),
+						"call to (*Conn).%s while bucket lock %s is held; "+
+							"Conn methods can block or re-enter the table — release the lock first", name, k)
+					break
+				}
+			}
+			return true
+		})
+	}
+
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if op, key, ok := lockOp(call); ok {
+					switch op {
+					case "Lock", "RLock":
+						held[key] = true
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					return
+				}
+			}
+			flagConnCalls(s)
+		case *ast.DeferStmt:
+			if op, _, ok := lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				// Critical section extends to function end; leave held.
+				return
+			}
+			flagConnCalls(s)
+		case *ast.BlockStmt:
+			walkStmts(s.List)
+		case *ast.IfStmt:
+			flagConnCalls(s.Cond)
+			walkStmts(s.Body.List)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.ForStmt:
+			walkStmts(s.Body.List)
+		case *ast.RangeStmt:
+			walkStmts(s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		default:
+			flagConnCalls(s)
+		}
+	}
+	walkStmts = func(list []ast.Stmt) {
+		for _, s := range list {
+			walkStmt(s)
+		}
+	}
+	walkStmts(fd.Body.List)
+}
+
+// checkLockCopy flags by-value copies of lock-bearing structs: range
+// values, plain assignments/declarations from non-composite sources, and
+// call arguments.
+func checkLockCopy(pass *Pass, n ast.Node) {
+	lockCopyExpr := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		switch e.(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			return false // construction / returned value, not a copy of a live lock
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			return false
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			return false
+		}
+		return containsLock(tv.Type)
+	}
+
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if n.Value == nil {
+			return
+		}
+		// With := the value ident is a definition (Info.Defs); with = it
+		// is an ordinary expression (Info.Types).
+		var vt types.Type
+		if id, ok := n.Value.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vt = obj.Type()
+			}
+		}
+		if vt == nil {
+			if tv, ok := pass.Info.Types[n.Value]; ok {
+				vt = tv.Type
+			}
+		}
+		if vt != nil && containsLock(vt) {
+			pass.Reportf(n.Value.Pos(),
+				"range copies lock-bearing %s by value; iterate by index (for i := range ...)",
+				vt.String())
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			if lockCopyExpr(rhs) {
+				pass.Reportf(rhs.Pos(),
+					"assignment copies lock-bearing %s by value; use a pointer",
+					pass.Info.Types[ast.Unparen(rhs)].Type.String())
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+		for _, arg := range n.Args {
+			if lockCopyExpr(arg) {
+				pass.Reportf(arg.Pos(),
+					"argument copies lock-bearing %s by value; pass a pointer",
+					pass.Info.Types[ast.Unparen(arg)].Type.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package allocdiscipline is ashlint/allocdiscipline's golden file: a
+// miniature of the aegis allocation API with Must* misuse and unchecked
+// allocator errors seeded next to their fixes.
+package allocdiscipline
+
+import "ashs/internal/vcode"
+
+type Segment struct{ Base, Len uint32 }
+
+type AddrSpace struct{ brk uint32 }
+
+func (as *AddrSpace) Alloc(n int, name string) (Segment, error) {
+	as.brk += uint32(n)
+	return Segment{Base: as.brk, Len: uint32(n)}, nil
+}
+
+func (as *AddrSpace) MustAlloc(n int, name string) Segment {
+	seg, err := as.Alloc(n, name)
+	if err != nil {
+		panic(err)
+	}
+	return seg
+}
+
+var globalAS = &AddrSpace{}
+
+// Package-level initialization is build time by definition.
+var bootSeg = globalAS.MustAlloc(64, "boot")
+
+// --- Must* on runtime paths ------------------------------------------
+
+func runtimePath(as *AddrSpace) Segment {
+	return as.MustAlloc(64, "rx") // want "MustAlloc on a runtime path"
+}
+
+func handleMessage(as *AddrSpace, n int) uint32 {
+	seg := as.MustAlloc(n, "scratch") // want "MustAlloc on a runtime path"
+	return seg.Base
+}
+
+// --- build-time setup contexts ---------------------------------------
+
+func NewThing(as *AddrSpace) Segment    { return as.MustAlloc(64, "setup") }
+func BuildRing(as *AddrSpace) Segment   { return as.MustAlloc(64, "ring") }
+func SetupWorld(as *AddrSpace) Segment  { return as.MustAlloc(64, "world") }
+func installPath(as *AddrSpace) Segment { return as.MustAlloc(64, "fast") }
+
+// CounterHandler returns a compiled handler program: code generation is
+// a download-time path by construction.
+func CounterHandler(as *AddrSpace) *vcode.Program {
+	_ = as.MustAlloc(64, "scratch")
+	return nil
+}
+
+// --- unchecked allocator errors --------------------------------------
+
+func discardAll(as *AddrSpace) {
+	as.Alloc(64, "leak") // want "result and error of as.Alloc discarded"
+}
+
+func discardErr(as *AddrSpace) Segment {
+	seg, _ := as.Alloc(64, "blind") // want "error from as.Alloc assigned to _"
+	return seg
+}
+
+func checked(as *AddrSpace) (Segment, error) {
+	seg, err := as.Alloc(64, "good")
+	if err != nil {
+		return Segment{}, err
+	}
+	return seg, nil
+}

@@ -1,0 +1,134 @@
+// Package determinism is ashlint/determinism's golden file: every
+// seeded violation carries a `// want` expectation; every idiomatic fix
+// must stay silent.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall-clock time sources -----------------------------------------
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want "wall-clock time.Now"
+	time.Sleep(1)         // want "wall-clock time.Sleep"
+	return time.Since(t0) // want "wall-clock time.Since"
+}
+
+// --- the global math/rand source -------------------------------------
+
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand source"
+}
+
+// seededRand is the fix: an explicit, seeded generator.
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// --- map iteration ---------------------------------------------------
+
+func renderUnsorted(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "order-dependent effect"
+	}
+}
+
+func sendUnsorted(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}
+
+func lastWriterWins(m map[string]int) string {
+	last := ""
+	for k := range m {
+		last = k // want "write to variable declared outside the loop"
+	}
+	return last
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "write to variable declared outside the loop"
+	}
+	return keys
+}
+
+// collectThenSort is the blessed idiom: gather, then order.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// accumulate commutes, so iteration order cannot show.
+func accumulate(m map[string]int) int {
+	sum, n := 0, 0
+	for _, v := range m {
+		sum += v
+		n++
+	}
+	return sum + n
+}
+
+// keyedRewrite writes through the key: order-insensitive.
+func keyedRewrite(m, out map[string]int) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// membership returns only constants: any iteration order agrees.
+func membership(m map[string]int) bool {
+	for _, v := range m {
+		if v > 10 {
+			return true
+		}
+	}
+	return false
+}
+
+// perEntryWrite stores through the loop value's pointer: each iteration
+// touches a distinct entry, so order cannot show.
+type slot struct {
+	inUse bool
+	buf   []byte
+}
+
+func perEntryWrite(m map[int]*slot) {
+	for _, sl := range m {
+		sl.inUse = false
+		sl.buf = nil
+	}
+}
+
+// prune deletes during iteration — explicitly allowed by Go and keyed.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// suppressed demonstrates a justified ignore directive: the driver
+// accepts it because the reason is non-empty.
+func suppressed(m map[string]int) {
+	for k := range m {
+		//lint:ignore ashlint/determinism golden-file demo of a reasoned suppression
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,16 @@
+// Package ignores exercises the suppression machinery end to end: a
+// reasoned directive silences its finding; a reasonless one is itself a
+// finding and silences nothing.
+package ignores
+
+import "time"
+
+func suppressedWithReason() time.Time {
+	//lint:ignore ashlint/determinism pinned by TestIgnoreDirectives: wall clock deliberately used
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//lint:ignore ashlint/determinism
+	return time.Now()
+}

@@ -1,0 +1,122 @@
+// Package lockdiscipline is ashlint/lockdiscipline's golden file: a
+// miniature of internal/proto/tcp's ConnTable with each contract
+// violation seeded alongside its idiomatic fix.
+package lockdiscipline
+
+import "sync"
+
+type Tuple struct{ A, B uint16 }
+
+type Conn struct {
+	state int
+	port  uint16
+}
+
+func (c *Conn) Close()     {}
+func (c *Conn) Flush() int { return c.state }
+
+type connBucket struct {
+	mu sync.RWMutex
+	m  map[Tuple]*Conn
+}
+
+type ConnTable struct {
+	buckets []connBucket
+}
+
+func NewConnTable(n int) *ConnTable {
+	t := &ConnTable{buckets: make([]connBucket, n)}
+	for i := range t.buckets {
+		t.buckets[i].m = map[Tuple]*Conn{}
+	}
+	return t
+}
+
+func (t *ConnTable) bucket(k Tuple) *connBucket { return &t.buckets[0] }
+
+// Bind is the one sanctioned publish point: inside a ConnTable method,
+// under the bucket lock.
+func (t *ConnTable) Bind(k Tuple, c *Conn) {
+	b := t.bucket(k)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[k] = c
+}
+
+// --- publish-fully-constructed ---------------------------------------
+
+func publishThenMutate(t *ConnTable, k Tuple, c *Conn) {
+	c.state = 1
+	t.Bind(k, c)
+	c.port = 9 // want "after ConnTable.Bind published"
+}
+
+func publishFully(t *ConnTable, k Tuple, c *Conn) {
+	c.state = 1
+	c.port = 9
+	t.Bind(k, c)
+}
+
+func directPublish(m map[Tuple]*Conn, k Tuple, c *Conn) {
+	m[k] = c // want "direct store into a conn map"
+}
+
+// --- no bucket lock across Conn calls --------------------------------
+
+func lockAcrossConnCall(b *connBucket, c *Conn) {
+	b.mu.Lock()
+	c.Close() // want "while bucket lock b.mu is held"
+	b.mu.Unlock()
+	c.Close()
+}
+
+func deferredLockAcrossConnCall(b *connBucket, c *Conn) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return c.Flush() // want "while bucket lock b.mu is held"
+}
+
+func lockReleasedFirst(b *connBucket, k Tuple) *Conn {
+	b.mu.RLock()
+	c := b.m[k]
+	b.mu.RUnlock()
+	if c != nil {
+		c.Close()
+	}
+	return c
+}
+
+// --- no copies of lock-bearing structs -------------------------------
+
+func rangeCopiesBucket(t *ConnTable) int {
+	n := 0
+	for _, b := range t.buckets { // want "range copies lock-bearing"
+		n += len(b.m)
+	}
+	return n
+}
+
+func rangeByIndex(t *ConnTable) int {
+	n := 0
+	for i := range t.buckets {
+		n += len(t.buckets[i].m)
+	}
+	return n
+}
+
+func assignCopiesBucket(t *ConnTable) {
+	cp := t.buckets[0] // want "assignment copies lock-bearing"
+	_ = cp.m
+}
+
+func useBucket(b connBucket) {}
+
+func passesBucketByValue(t *ConnTable) {
+	useBucket(t.buckets[0]) // want "argument copies lock-bearing"
+}
+
+func passesBucketPointer(t *ConnTable) {
+	usePtr(&t.buckets[0])
+}
+
+func usePtr(b *connBucket) {}

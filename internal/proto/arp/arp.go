@@ -6,8 +6,10 @@
 package arp
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"ashs/internal/aegis"
 	"ashs/internal/dpf"
@@ -177,12 +179,21 @@ func (s *Service) Lookup(a ip.Addr) (ether.MAC, bool) {
 // way; here it completes the ARP/RARP pair the paper lists.
 func (s *Service) ReverseLookup(p *aegis.Process, m ether.MAC) (ip.Addr, error) {
 	find := func() (ip.Addr, bool) {
+		// Several protocol addresses may bind to one MAC; the lowest wins
+		// so the answer is independent of map iteration order.
+		var matches []ip.Addr
 		for addr, mac := range s.cache {
 			if mac == m {
-				return addr, true
+				matches = append(matches, addr)
 			}
 		}
-		return ip.Addr{}, false
+		if len(matches) == 0 {
+			return ip.Addr{}, false
+		}
+		sort.Slice(matches, func(i, j int) bool {
+			return bytes.Compare(matches[i][:], matches[j][:]) < 0
+		})
+		return matches[0], true
 	}
 	for attempt := 0; attempt < resolveAttempts; attempt++ {
 		if a, ok := find(); ok {

@@ -27,8 +27,9 @@ type Server struct {
 }
 
 // ioBuf allocates a scratch segment for wire I/O on conn's host.
-func ioBuf(conn *tcp.Conn, n int) aegis.Segment {
-	return conn.St.Ep.Owner().AS.MustAlloc(n, "http-io")
+// Exhaustion surfaces as an error: HTTP I/O is a runtime path.
+func ioBuf(conn *tcp.Conn, n int) (aegis.Segment, error) {
+	return conn.St.Ep.Owner().AS.Alloc(n, "http-io")
 }
 
 // readUntilBlankLine reads header bytes up to and including CRLFCRLF.
@@ -53,7 +54,10 @@ func readUntilBlankLine(conn *tcp.Conn, seg aegis.Segment) (string, error) {
 
 // Serve handles one request on an established connection and closes it.
 func (s *Server) Serve(conn *tcp.Conn) error {
-	seg := ioBuf(conn, 8192)
+	seg, err := ioBuf(conn, 8192)
+	if err != nil {
+		return err
+	}
 	raw, err := readUntilBlankLine(conn, seg)
 	if err != nil {
 		return err
@@ -94,7 +98,10 @@ func Get(conn *tcp.Conn, path string) (*Response, error) {
 	if err := conn.WriteBytes([]byte(req)); err != nil {
 		return nil, err
 	}
-	seg := ioBuf(conn, 96*1024)
+	seg, err := ioBuf(conn, 96*1024)
+	if err != nil {
+		return nil, err
+	}
 	raw, err := readUntilBlankLine(conn, seg)
 	if err != nil {
 		return nil, err

@@ -1,7 +1,9 @@
 package ip
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"ashs/internal/aegis"
 	"ashs/internal/proto/link"
@@ -342,17 +344,37 @@ func (s *Stack) allocSlot(now sim.Time) *reasmBuf {
 			return sl
 		}
 	}
-	// Reclaim expired reassemblies (backstop; sweepReasm normally already
-	// freed them).
+	// Reclaim an expired reassembly (backstop; sweepReasm normally already
+	// freed them). The victim is chosen by earliest deadline with the key
+	// as tie-break, so the choice is independent of map iteration order.
+	var expired []reasmKey
 	for k, sl := range s.reasm {
 		if now > sl.deadline {
-			delete(s.reasm, k)
-			s.ReasmTimeouts++
-			sl.have = map[int]int{}
-			return sl
+			expired = append(expired, k)
 		}
 	}
-	return nil
+	if len(expired) == 0 {
+		return nil
+	}
+	sort.Slice(expired, func(i, j int) bool {
+		a, b := expired[i], expired[j]
+		if da, db := s.reasm[a].deadline, s.reasm[b].deadline; da != db {
+			return da < db
+		}
+		if c := bytes.Compare(a.src[:], b.src[:]); c != 0 {
+			return c < 0
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return a.proto < b.proto
+	})
+	k := expired[0]
+	sl := s.reasm[k]
+	delete(s.reasm, k)
+	s.ReasmTimeouts++
+	sl.have = map[int]int{}
+	return sl
 }
 
 func (s *Stack) complete(buf *reasmBuf) bool {

@@ -403,16 +403,26 @@ func (c *Conn) Write(addr uint32, n int) error {
 
 // WriteBytes stages data into a scratch segment and writes it.
 func (c *Conn) WriteBytes(data []byte) error {
-	seg := c.scratch(len(data))
+	seg, err := c.scratch(len(data))
+	if err != nil {
+		return err
+	}
 	copy(c.kern().Bytes(seg, len(data)), data)
 	return c.Write(seg, len(data))
 }
 
-func (c *Conn) scratch(n int) uint32 {
+// scratch returns the base of a scratch segment of at least n bytes,
+// growing it on demand. Allocation failure is a runtime condition (guest
+// memory exhaustion), so it surfaces as an error instead of panicking.
+func (c *Conn) scratch(n int) (uint32, error) {
 	if c.scratchSeg.Len == 0 || int(c.scratchSeg.Len) < n {
-		c.scratchSeg = c.owner().AS.MustAlloc(max(n, 16384), "tcp-scratch")
+		seg, err := c.owner().AS.Alloc(max(n, 16384), "tcp-scratch")
+		if err != nil {
+			return 0, err
+		}
+		c.scratchSeg = seg
 	}
-	return c.scratchSeg.Base
+	return c.scratchSeg.Base, nil
 }
 
 func max(a, b int) int {
@@ -867,7 +877,11 @@ func (c *Conn) updateWindow(seq, ack uint32, wnd int) {
 // duplicate ACK carrying its current window, breaking a zero-window
 // deadlock whose window-opening ACK was lost or discarded as stale.
 func (c *Conn) sendWindowProbe() {
-	a := c.scratch(1)
+	a, err := c.scratch(1)
+	if err != nil {
+		c.err = err
+		return
+	}
 	c.sendSegment(ACK, c.sndUna-1, &a, 1, false)
 }
 

@@ -384,7 +384,11 @@ func TestWindowLimitsInFlightData(t *testing.T) {
 			return
 		}
 		data := make([]byte, 50000)
-		seg := conn.scratch(len(data))
+		seg, err := conn.scratch(len(data))
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		copy(w.k1.Bytes(seg, len(data)), data)
 		go func() {}() // no-op: keep structure clear
 		// Interleave writes with in-flight checks.
