@@ -65,6 +65,7 @@ echo "== fuzz sweep (10s per target)"
 go test -run '^$' -fuzz '^FuzzIPParse$' -fuzztime 10s ./internal/proto/ip/
 go test -run '^$' -fuzz '^FuzzTCPHeader$' -fuzztime 10s ./internal/proto/tcp/
 go test -run '^$' -fuzz '^FuzzDPFDemux$' -fuzztime 10s ./internal/dpf/
+go test -run '^$' -fuzz '^FuzzTraceParse$' -fuzztime 10s ./internal/workload/
 
 # Parallel runner determinism: the full suite at -parallel=1 (serial
 # reference) and at one-worker-per-CPU must print byte-identical stdout.
@@ -97,6 +98,19 @@ echo "== scale fan-in determinism (byte-identical stdout)"
 if ! cmp -s "$tracedir/scale-serial.txt" "$tracedir/scale-parallel.txt"; then
     echo "scale output differs between -parallel=1 and the default pool"
     diff "$tracedir/scale-serial.txt" "$tracedir/scale-parallel.txt" | head -40
+    exit 1
+fi
+
+# The overload experiment gets its own gate: its cells mix adversarial
+# trace replay, the fault plane, tenant quotas, and client backoff — the
+# densest interleaving of event sources in the suite — so byte-identity
+# under parallelism must be attributable to it directly.
+echo "== overload control determinism (byte-identical stdout)"
+"$tracedir/ashbench" -experiment overload -parallel 1 >"$tracedir/overload-serial.txt" 2>/dev/null
+"$tracedir/ashbench" -experiment overload >"$tracedir/overload-parallel.txt" 2>/dev/null
+if ! cmp -s "$tracedir/overload-serial.txt" "$tracedir/overload-parallel.txt"; then
+    echo "overload output differs between -parallel=1 and the default pool"
+    diff "$tracedir/overload-serial.txt" "$tracedir/overload-parallel.txt" | head -40
     exit 1
 fi
 

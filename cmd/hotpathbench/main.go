@@ -43,6 +43,8 @@ func main() {
 	}{
 		{"DPFTrieWalk", hotpath.DPFTrieWalk},
 		{"DPFLinearScan", hotpath.DPFLinearScan},
+		{"VCODEDispatch", hotpath.VCODEDispatch},
+		{"SandboxInstrument", hotpath.SandboxInstrument},
 		{"SimEventQueue", hotpath.SimEventQueue},
 	}
 

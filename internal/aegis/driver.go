@@ -198,9 +198,13 @@ type VCBinding struct {
 	freeBufs []int
 
 	// DroppedNoBuf counts messages lost to receive-buffer exhaustion;
-	// DroppedTooBig counts messages larger than the bound buffers.
+	// DroppedTooBig counts messages larger than the bound buffers. Shed
+	// counts arrivals refused by ring high-watermark admission control
+	// (see Ring.HighWater): the circuit matched, but the owner was so far
+	// behind that queueing more would only grow stale backlog.
 	DroppedNoBuf  uint64
 	DroppedTooBig uint64
+	Shed          uint64
 }
 
 // AN2If is the AN2 driver instance for one host.
@@ -217,9 +221,14 @@ type AN2If struct {
 
 	// DroppedNoVC counts messages to unbound circuits. CRCDrops counts
 	// frames the board's frame check rejected; the Injected* counters
-	// record failures forced by the fault plane.
+	// record failures forced by the fault plane, and only those. LoadDrops
+	// and LoadSheds aggregate the genuine load-induced losses across
+	// circuits (buffer starvation; high-watermark refusals), so a soak can
+	// assert shed-because-saturated separately from dropped-by-chaos.
 	DroppedNoVC         uint64
 	CRCDrops            uint64
+	LoadDrops           uint64
+	LoadSheds           uint64
 	InjectedRingDrops   uint64
 	InjectedPoolDrops   uint64
 	InjectedTruncations uint64
@@ -301,12 +310,26 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 		return
 	}
 	if df.DropPool {
+		// Injected exhaustion counts only as injected: b.DroppedNoBuf is
+		// reserved for genuine load-induced buffer starvation, so the
+		// chaos soak can assert the two causes separately.
 		a.InjectedPoolDrops++
-		b.DroppedNoBuf++
+		return
+	}
+	if hw := b.Ring.HighWater; hw > 0 && b.Ring.Len() >= hw {
+		// Shed at demux: the circuit's ring stands at its high watermark,
+		// so admission control refuses the arrival before it costs a
+		// buffer, a DMA, or any handler cycles.
+		b.Shed++
+		a.LoadSheds++
+		if o := a.K.Obs; o.Enabled() {
+			o.Inc("aegis/" + a.K.Name + "/ring_shed")
+		}
 		return
 	}
 	if len(b.freeBufs) == 0 {
 		b.DroppedNoBuf++
+		a.LoadDrops++
 		return
 	}
 	bufIdx := b.freeBufs[0]

@@ -18,6 +18,14 @@ type EthBinding struct {
 	Handler MsgHandler
 	Upcall  *Upcall
 
+	// Shed counts frames admission control refused for this binding: the
+	// filter matched, but the ring stood at its high watermark (see
+	// Ring.HighWater), so the demultiplexor dropped the frame before it
+	// consumed a pool buffer. Per-filter, so an overloaded endpoint's
+	// shedding is attributable to it rather than folded into a global
+	// drop count.
+	Shed uint64
+
 	ether *EthernetIf
 }
 
@@ -43,12 +51,19 @@ type EthernetIf struct {
 	// fault plane can model device-level failures.
 	InjectFault func(pkt *netdev.Packet) DeviceFault
 
-	// DroppedNoFilter and DroppedNoBuf count losses. CRCDrops counts
-	// frames the board's frame check rejected; the Injected* counters
-	// record failures forced by the fault plane.
+	// DroppedNoFilter and DroppedNoBuf count load-induced losses (no
+	// matching filter; genuine pool exhaustion). LoadSheds counts frames
+	// refused by ring high-watermark admission control (summed over the
+	// per-binding Shed counters). CRCDrops counts frames the board's
+	// frame check rejected. The Injected* counters record failures forced
+	// by the fault plane, and only those: a fault-injected ring or pool
+	// drop no longer bumps the load-induced counters, so overload
+	// analysis can tell shed-because-saturated from dropped-by-chaos.
 	DroppedNoFilter     uint64
 	DroppedNoBuf        uint64
+	LoadSheds           uint64
 	CRCDrops            uint64
+	InjectedRingDrops   uint64
 	InjectedPoolDrops   uint64
 	InjectedTruncations uint64
 
@@ -180,10 +195,27 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 	b := e.bindings[id]
 	e.RxFrames++
 	e.DemuxCycles += demuxCycles
-	if df.DropRing || df.DropPool {
-		// Receive-pool exhaustion: nowhere to DMA the frame.
+	if df.DropRing {
+		// Injected notification-ring overflow: the arrival is lost after
+		// classification, before any buffer is taken.
+		e.InjectedRingDrops++
+		return
+	}
+	if df.DropPool {
+		// Injected receive-pool exhaustion: nowhere to DMA the frame.
 		e.InjectedPoolDrops++
-		e.DroppedNoBuf++
+		return
+	}
+	if hw := b.Ring.HighWater; hw > 0 && b.Ring.Len() >= hw {
+		// Shed at demux: the binding's ring stands at its high watermark,
+		// so admission control refuses the frame before it costs a pool
+		// buffer, a DMA, or any handler cycles. The sender sees a loss
+		// and backs off; the frames already queued stay serviceable.
+		b.Shed++
+		e.LoadSheds++
+		if o := e.K.Obs; o.Enabled() {
+			o.Inc("aegis/" + e.K.Name + "/ring_shed")
+		}
 		return
 	}
 	if len(e.freeBufs) == 0 {

@@ -196,6 +196,18 @@ func (p *Process) Syscall(extra sim.Time) {
 	p.Compute(sim.Time(p.K.Prof.SyscallCycles) + extra)
 }
 
+// SleepUntil releases the CPU until virtual time t (a timer block):
+// unlike Compute, the waiting process holds no CPU, so sibling processes
+// on the same kernel run during the wait. Returns immediately if t has
+// already passed.
+func (p *Process) SleepUntil(t sim.Time) {
+	p.ensureCPU()
+	for p.K.Now() < t {
+		p.K.Eng.ScheduleAt(t, func() { p.Wake(0) })
+		p.block()
+	}
+}
+
 // SpinFor is a compute-bound workload helper: consume CPU for d cycles.
 func (p *Process) SpinFor(d sim.Time) { p.Compute(d) }
 

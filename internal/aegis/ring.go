@@ -25,6 +25,15 @@ type Ring struct {
 	waiter  *Process
 	polling bool
 
+	// HighWater, when positive, is the admission-control threshold: the
+	// demultiplexor sheds new arrivals for this ring once Len() reaches
+	// it, instead of queueing without bound. A deep ring means the owner
+	// is not keeping up; admitting more frames only converts fresh,
+	// retryable requests into stale queued ones (the receive-livelock
+	// shape of Section VI-4, moved from CPU time to memory). Zero keeps
+	// the ring unbounded.
+	HighWater int
+
 	// Delivered counts entries ever pushed.
 	Delivered uint64
 }

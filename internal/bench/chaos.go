@@ -58,6 +58,8 @@ type ChaosResult struct {
 	Faults fault.Counters
 
 	// How the stack absorbed it.
+	InjectedDevDrops  uint64 // device ring/pool losses forced by the plane
+	LoadDevDrops      uint64 // genuine pool exhaustion + watermark sheds
 	CRCDrops          uint64 // frames the boards' CRC rejected
 	InvoluntaryAborts uint64 // forced handler aborts taken
 	AbortFallbacks    uint64 // messages re-vectored to the default path
@@ -247,6 +249,10 @@ func runChaosOne(cfg *Config, seed int64, sched fault.Schedule, p ChaosParams) C
 		res.TCPMBps = float64(p.TCPBytes) / (tcpEnd - tcpStart)
 	}
 	res.Faults = pl.C
+	res.InjectedDevDrops = tb.A1.InjectedRingDrops + tb.A1.InjectedPoolDrops +
+		tb.A2.InjectedRingDrops + tb.A2.InjectedPoolDrops
+	res.LoadDevDrops = tb.A1.LoadDrops + tb.A1.LoadSheds +
+		tb.A2.LoadDrops + tb.A2.LoadSheds
 	res.CRCDrops = tb.A1.CRCDrops + tb.A2.CRCDrops
 	res.InvoluntaryAborts = tb.Sys1.InvoluntaryAborts + tb.Sys2.InvoluntaryAborts
 	res.AbortFallbacks = tb.Sys1.AbortFallbacks + tb.Sys2.AbortFallbacks

@@ -11,7 +11,10 @@ import (
 	"testing"
 
 	"ashs/internal/dpf"
+	"ashs/internal/mach"
+	"ashs/internal/sandbox"
 	"ashs/internal/sim"
+	"ashs/internal/vcode"
 )
 
 const (
@@ -24,6 +27,16 @@ const (
 	// benchmark: deep enough that heap reshuffles dominate, shallow
 	// enough to stay cache-resident like a real run.
 	QueueDepth = 1024
+
+	// HandlerBytes is the packet the VCODE handler walks: one Ethernet
+	// minimum frame, the message size every ASH invocation touches.
+	HandlerBytes = 64
+
+	// HandlerVariants is the distinct-program population for the
+	// instrumentation benchmark. It deliberately exceeds the sandbox
+	// compile cache's capacity so every Sandbox call measures a real
+	// verify+instrument, not a memo hit.
+	HandlerVariants = 512
 )
 
 // NewLoadedEngine builds a DPF engine with Filters per-client UDP port
@@ -73,6 +86,67 @@ func DPFLinearScan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, ok := e.DemuxLinear(pkt); !ok {
 			b.Fatal("demux missed")
+		}
+	}
+}
+
+// NewHandlerProgram builds the representative ASH body both VCODE
+// benchmarks run: a checksum loop over a HandlerBytes packet (load, add,
+// advance, backward branch) followed by one store — the load-heavy,
+// tight-loop shape the SFI instrumenter has the most to say about. tweak
+// perturbs an immediate so distinct variants have distinct fingerprints.
+func NewHandlerProgram(tweak int32) *vcode.Program {
+	b := vcode.NewBuilder("cksum")
+	base, acc, i, end, w := b.Temp(), b.Temp(), b.Temp(), b.Temp(), b.Temp()
+	b.MovI(base, 0x1000)
+	b.MovI(acc, tweak)
+	b.MovI(i, 0)
+	b.MovI(end, HandlerBytes)
+	loop := b.NewLabel()
+	b.Bind(loop)
+	b.Ld32X(w, base, i)
+	b.AddU(acc, acc, w)
+	b.AddIU(i, i, 4)
+	b.BltU(i, end, loop)
+	b.St32(base, 0, acc)
+	b.Mov(vcode.RRet, acc)
+	b.Ret()
+	return b.MustAssemble()
+}
+
+// VCODEDispatch measures the vcode interpreter's dispatch loop: one full
+// handler execution (16 loads + ALU + a store) over a resident packet.
+// This is the per-message cost floor of every ASH invocation — the loop
+// the paper attacks with dynamic code generation.
+func VCODEDispatch(b *testing.B) {
+	prog := NewHandlerProgram(0)
+	mem := vcode.NewFlatMem(0x1000, HandlerBytes)
+	m := vcode.NewMachine(mach.DS5000_240(), mem)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := m.Run(prog); f != nil {
+			b.Fatal(f)
+		}
+	}
+}
+
+// SandboxInstrument measures the download-time verify+instrument pass
+// under the default MIPS software-protection policy. The variant pool
+// overflows the compile cache, so every iteration pays the real static
+// analysis and rewrite, the cost a kernel pays to accept one untrusted
+// handler.
+func SandboxInstrument(b *testing.B) {
+	variants := make([]*vcode.Program, HandlerVariants)
+	for i := range variants {
+		variants[i] = NewHandlerProgram(int32(i + 1))
+	}
+	pol := sandbox.DefaultPolicy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sandbox.Sandbox(variants[i%HandlerVariants], pol); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -157,6 +157,18 @@ var experiments = []*Experiment{
 			return renderScale(vs)
 		},
 	},
+	{
+		Name:  "overload",
+		Help:  "overload control: adversarial traces vs graceful degradation",
+		Cells: overloadCells,
+		Render: func(cfg *Config, vs []any) string {
+			results := make([]OverloadResult, len(vs))
+			for i, v := range vs {
+				results[i] = v.(OverloadResult)
+			}
+			return RenderOverload(results)
+		},
+	},
 }
 
 // Workload sizing shared between the registry and the Run* entry points.

@@ -86,6 +86,13 @@ type scaleWorld struct {
 }
 
 func newScaleWorld(n int) *scaleWorld {
+	return newScaleWorldMem(n, scaleClientMem, scaleClientRxBufs)
+}
+
+// newScaleWorldMem is newScaleWorld with per-client sizing overrides, for
+// experiments whose clients run more than one socket at once (e.g. the
+// overload experiment's concurrent request lanes).
+func newScaleWorldMem(n, clientMem, clientRxBufs int) *scaleWorld {
 	eng := sim.NewEngine()
 	prof := mach.DS5000_240()
 	sw := netdev.NewSwitch(eng, prof, netdev.EthernetConfig())
@@ -99,8 +106,8 @@ func newScaleWorld(n int) *scaleWorld {
 	w.res[w.srv.ip] = link.Addr{Port: se.Addr()}
 
 	for i := 0; i < n; i++ {
-		ck := aegis.NewKernelMem(fmt.Sprintf("c%03d", i), eng, prof, scaleClientMem)
-		ce := aegis.NewEthernetPool(ck, sw, scaleClientRxBufs)
+		ck := aegis.NewKernelMem(fmt.Sprintf("c%03d", i), eng, prof, clientMem)
+		ce := aegis.NewEthernetPool(ck, sw, clientRxBufs)
 		h := scaleHost{k: ck, e: ce, ip: ip.HostAddr(ce.Addr())}
 		w.res[h.ip] = link.Addr{Port: ce.Addr()}
 		w.cli = append(w.cli, h)

@@ -24,14 +24,19 @@ type FuncASH struct {
 	Sandboxed bool
 	Fn        func(c *Ctx) aegis.Disposition
 
+	// Tenant labels this handler for quota accounting (see System.Quota).
+	// Empty opts out: the handler is never admitted against the ledger.
+	Tenant string
+
 	sys    *System
 	detach []func() // de-installs this handler from its bindings
 
 	// Statistics.
-	Invocations  uint64
-	ForcedAborts uint64   // involuntary aborts injected by the fault plane
-	Tripped      bool     // de-installed by the abort trip threshold
-	LastPathCost sim.Time // receive-path cycles accumulated when the last invocation finished
+	Invocations    uint64
+	ForcedAborts   uint64   // involuntary aborts injected by the fault plane
+	QuotaThrottled uint64   // executions refused by the tenant quota
+	Tripped        bool     // de-installed by the abort trip threshold
+	LastPathCost   sim.Time // receive-path cycles accumulated when the last invocation finished
 }
 
 // NewFuncASH installs a Go-native handler. sandboxed selects whether the
@@ -67,6 +72,22 @@ func (f *FuncASH) OnTrip(fn func()) { f.detach = append(f.detach, fn) }
 
 // HandleMsg implements aegis.MsgHandler.
 func (f *FuncASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
+	if q := f.sys.Quota; q != nil && f.Tenant != "" {
+		if !q.Admit(f.Tenant, f.sys.K.Now()) {
+			// Tenant over its cycle budget this window: refuse eager
+			// execution, let the message take the lazy user-level path.
+			f.QuotaThrottled++
+			f.sys.QuotaThrottled++
+			mc.Charge(2) // the refusal check itself
+			if o := f.sys.K.Obs; o.Enabled() {
+				o.Instant(f.sys.K.Name, "ash system", "ash",
+					"quota throttled "+f.Name, mc.When())
+				o.Inc("ash/quota_throttled")
+			}
+			f.LastPathCost = mc.Cost()
+			return aegis.DispToUser
+		}
+	}
 	f.Invocations++
 	prof := f.sys.K.Prof
 	if inject := f.sys.InjectAbort; inject != nil {
@@ -93,6 +114,7 @@ func (f *FuncASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 			return aegis.DispToUser
 		}
 	}
+	c0 := mc.Cost()
 	if f.Sandboxed {
 		// Watchdog arm + sandbox entry sequence.
 		mc.Charge(sim.Time(prof.TimerArmCycles + f.sys.Policy.PrologueLen))
@@ -102,6 +124,11 @@ func (f *FuncASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 	if f.Sandboxed {
 		// Exit sequence + watchdog clear.
 		mc.Charge(sim.Time(f.sys.Policy.EpilogueLen + prof.TimerArmCycles))
+	}
+	if q := f.sys.Quota; q != nil && f.Tenant != "" {
+		// Debit the handler's declared costs (everything charged to the
+		// receive path by this invocation).
+		q.Charge(f.Tenant, mc.Cost()-c0)
 	}
 	f.LastPathCost = mc.Cost()
 	return d

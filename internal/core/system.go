@@ -56,6 +56,19 @@ type System struct {
 	// high load. Zero means unlimited.
 	RatePerTick int
 
+	// Quota, when set, meters eager handler execution against per-tenant
+	// windowed cycle budgets (see sandbox.QuotaLedger). Handlers carrying
+	// a Tenant label are admitted against the ledger before running and
+	// debited their exact SFI-accounted cycles after; over-budget tenants
+	// are throttled, not aborted — their messages degrade to the lazy
+	// user-level path, where processing is paid from the tenant's own
+	// scheduler quantum. Nil disables metering entirely.
+	Quota *sandbox.QuotaLedger
+
+	// QuotaThrottled counts handler executions refused by the quota
+	// ledger (across all tenants and handlers on this host).
+	QuotaThrottled uint64
+
 	// InjectAbort, when set, is consulted before each handler run so a
 	// fault plane can force involuntary aborts. For AbortBudget the value
 	// is an instruction allowance; for AbortTimer a premature cycle limit
@@ -122,6 +135,10 @@ type ASH struct {
 	Owner  *aegis.Process
 	Unsafe bool
 
+	// Tenant labels this handler for quota accounting (see System.Quota).
+	// Empty opts out: the handler is never admitted against the ledger.
+	Tenant string
+
 	sys     *System
 	sandbox *sandbox.Program // nil when Unsafe
 	code    *vcode.Program
@@ -145,6 +162,7 @@ type ASH struct {
 	VoluntaryAborts  uint64
 	InvolAborts      uint64       // involuntary aborts of this handler
 	Throttled        uint64       // executions refused by the livelock defense
+	QuotaThrottled   uint64       // executions refused by the tenant quota
 	InvoluntaryFault *vcode.Fault // last involuntary abort, for diagnosis
 	Tripped          bool         // de-installed by the abort trip threshold
 
@@ -286,6 +304,21 @@ func (a *ASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 		}
 		a.tickCount++
 	}
+	if q := a.sys.Quota; q != nil && a.Tenant != "" {
+		if !q.Admit(a.Tenant, a.sys.K.Now()) {
+			// Tenant over its cycle budget this window: refuse eager
+			// execution, let the message take the lazy user-level path.
+			a.QuotaThrottled++
+			a.sys.QuotaThrottled++
+			mc.Charge(2) // the refusal check itself
+			if o := a.sys.K.Obs; o.Enabled() {
+				o.Instant(a.sys.K.Name, "ash system", "ash",
+					"quota throttled "+a.Name, mc.When())
+				o.Inc("ash/quota_throttled")
+			}
+			return aegis.DispToUser
+		}
+	}
 	a.Invocations++
 	invokeStart := mc.When()
 	a.sys.K.Obs.Inc("ash/invocations")
@@ -329,6 +362,10 @@ func (a *ASH) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
 	fault := m.Run(a.code)
 	m.InsnBudget, m.CycleLimit = savedInsnBudget, savedCycleLimit
 	mc.Charge(m.Cycles)
+	if q := a.sys.Quota; q != nil && a.Tenant != "" {
+		// Debit the exact executed cycles — aborted runs burned them too.
+		q.Charge(a.Tenant, m.Cycles)
+	}
 	a.DynamicInsns += m.Insns
 	if useTimer {
 		mc.Charge(sim.Time(prof.TimerArmCycles)) // clear the watchdog

@@ -31,6 +31,19 @@ func TestChaosSoak(t *testing.T) {
 		if !r.NFSOk {
 			t.Errorf("%s/seed %d: NFS session failed integrity", r.Schedule, r.Seed)
 		}
+		// The injected-vs-load split must reconcile exactly: every device
+		// ring/pool fault the plane scheduled shows up on the Injected*
+		// counters, and never leaks into the load-induced ones. The soak's
+		// testbed is provisioned for its offered load, so any LoadDevDrops
+		// here would mean injected losses were misattributed to load.
+		if want := r.Faults.DeviceRingDrops + r.Faults.DevicePoolDrops; r.InjectedDevDrops != want {
+			t.Errorf("%s/seed %d: injected device drops = %d, plane scheduled %d",
+				r.Schedule, r.Seed, r.InjectedDevDrops, want)
+		}
+		if r.LoadDevDrops != 0 {
+			t.Errorf("%s/seed %d: %d device drops misattributed to load",
+				r.Schedule, r.Seed, r.LoadDevDrops)
+		}
 		switch r.Schedule {
 		case "loss":
 			if r.Faults.WireDrops == 0 {
@@ -49,6 +62,10 @@ func TestChaosSoak(t *testing.T) {
 		case "duplication":
 			if r.Faults.WireDups == 0 {
 				t.Errorf("duplication schedule injected no duplicates")
+			}
+		case "device":
+			if r.Faults.DeviceRingDrops == 0 || r.Faults.DevicePoolDrops == 0 {
+				t.Errorf("device schedule injected no ring/pool drops (%+v)", r.Faults)
 			}
 		case "abort-storm":
 			if r.Faults.AbortBudget == 0 || r.Faults.AbortTimer == 0 {

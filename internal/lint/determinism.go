@@ -23,6 +23,9 @@ var Determinism = &Analyzer{
 		"ashs/internal/netdev",
 		"ashs/internal/aegis",
 		"ashs/internal/proto",
+		"ashs/internal/workload",
+		"ashs/internal/relay",
+		"ashs/internal/fault",
 	),
 	Run: runDeterminism,
 }

@@ -267,6 +267,10 @@ func (l *EthLink) InstallHandler(h aegis.MsgHandler) { l.bind.Handler = h }
 // InstallUpcall implements Endpoint.
 func (l *EthLink) InstallUpcall(u *aegis.Upcall) { l.bind.Upcall = u }
 
+// Binding exposes the underlying filter binding (for admission control
+// and drop statistics).
+func (l *EthLink) Binding() *aegis.EthBinding { return l.bind }
+
 var _ Endpoint = (*AN2Link)(nil)
 var _ Endpoint = (*EthLink)(nil)
 

@@ -1,0 +1,66 @@
+package tcp
+
+import (
+	"strings"
+	"testing"
+
+	"ashs/internal/aegis"
+	"ashs/internal/sim"
+)
+
+// connectVoid dials a host with nothing bound on the circuit, so every
+// SYN is lost and the client walks its full backoff schedule. Returns
+// the connect error and the virtual time at which the attempt gave up.
+func connectVoid(jitterSeed int64, jitterClient, budget int) (error, sim.Time) {
+	w := newWorld()
+	var err error
+	w.k1.Spawn("client", func(p *aegis.Process) {
+		st := w.stackFor(p, w.a1, 7, w.ip1)
+		cfg := w.cfg(ModeUser, 1)
+		cfg.JitterSeed, cfg.JitterClient = jitterSeed, jitterClient
+		cfg.RetryBudget = budget
+		_, err = Connect(st, cfg, 1234, w.ip2, 80)
+	})
+	w.eng.Run()
+	return err, w.eng.Now()
+}
+
+// TestRetryBudgetTearsDown: a connection whose lifetime retry budget is
+// spent gives up with a budget error instead of walking the full
+// MaxRetransmit schedule — the client-side half of overload control.
+func TestRetryBudgetTearsDown(t *testing.T) {
+	err, tBudget := connectVoid(42, 3, 3)
+	if err == nil {
+		t.Fatal("connect into the void succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("teardown reason = %v, want retry budget", err)
+	}
+	errFull, tFull := connectVoid(42, 3, 0)
+	if errFull == nil {
+		t.Fatal("unbudgeted connect succeeded")
+	}
+	if tBudget >= tFull {
+		t.Fatalf("budgeted attempt (%d) gave up no earlier than MaxRetransmit (%d)",
+			tBudget, tFull)
+	}
+}
+
+// TestJitterDeterministicAndSpreads: identical (seed, client) pairs replay
+// the exact backoff schedule; distinct clients sharing a seed walk
+// different schedules, so synchronized losers desynchronize.
+func TestJitterDeterministicAndSpreads(t *testing.T) {
+	_, t1 := connectVoid(7, 5, 4)
+	_, t2 := connectVoid(7, 5, 4)
+	if t1 != t2 {
+		t.Fatalf("same seed/client diverged: %d vs %d", t1, t2)
+	}
+	_, t3 := connectVoid(7, 6, 4)
+	if t3 == t1 {
+		t.Fatalf("clients 5 and 6 walked identical jittered schedules (%d)", t1)
+	}
+	_, plain := connectVoid(0, 0, 4)
+	if plain == t1 {
+		t.Fatal("jittered schedule identical to classic doubling")
+	}
+}

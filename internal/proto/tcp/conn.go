@@ -7,6 +7,7 @@ import (
 	"ashs/internal/core"
 	"ashs/internal/proto/ip"
 	"ashs/internal/proto/link"
+	"ashs/internal/proto/retry"
 	"ashs/internal/sim"
 )
 
@@ -70,6 +71,22 @@ type Config struct {
 	MinRTOUs      float64
 	MaxRTOUs      float64
 	MaxRetransmit int
+	// JitterSeed, when nonzero, turns on deterministic jittered backoff:
+	// each backed-off retransmission timeout is scaled into [1/2, 1) of
+	// its doubled value by a per-connection stream seeded from
+	// (JitterSeed, JitterClient). Distinctly numbered clients sharing a
+	// seed desynchronize their first retries by construction (see
+	// retry.Jitter), so a synchronized loss event does not produce a
+	// synchronized retry storm. Zero keeps classic doubling bit-for-bit.
+	JitterSeed   int64
+	JitterClient int
+	// RetryBudget, when positive, bounds total retransmissions over the
+	// connection's lifetime; once spent, the next due retransmission
+	// tears the connection down instead of sending. This is the
+	// client-side half of overload control: a saturated server sheds,
+	// and budgeted clients stop amplifying the load. Zero means only
+	// the per-segment MaxRetransmit bound applies.
+	RetryBudget int
 }
 
 // DefaultConfig is the paper's AN2 configuration: MSS 3072, window 8 KB.
@@ -163,6 +180,8 @@ type Conn struct {
 
 	fast *fastPath // installed handler, if any
 
+	jit *retry.Jitter // backoff jitter stream; nil = classic doubling
+
 	// scratchSeg backs WriteBytes staging; zero Len means unallocated.
 	scratchSeg aegis.Segment
 
@@ -195,6 +214,9 @@ func newConn(st *ip.Stack, cfg Config, localPort uint16) (*Conn, error) {
 		panic("tcp: bad config")
 	}
 	c := &Conn{St: st, Cfg: cfg, Costs: DefaultCosts(), localPort: localPort}
+	if cfg.JitterSeed != 0 {
+		c.jit = retry.NewJitter(cfg.JitterSeed, cfg.JitterClient)
+	}
 	if cfg.Mode != ModeUser {
 		seg, err := st.Ep.Owner().AS.Alloc(cfg.Window, fmt.Sprintf("tcp-%d-hring", localPort))
 		if err != nil {
@@ -508,6 +530,10 @@ func (c *Conn) checkTimers() {
 				c.teardown(fmt.Errorf("tcp: too many retransmissions of seq %d", r.seq))
 				return
 			}
+			if b := c.Cfg.RetryBudget; b > 0 && c.Retransmits >= uint64(b) {
+				c.teardown(fmt.Errorf("tcp: retry budget (%d) exhausted at seq %d", b, r.seq))
+				return
+			}
 			r.tries++
 			c.Retransmits++
 			if o := c.kern().Obs; o.Enabled() {
@@ -519,6 +545,16 @@ func (c *Conn) checkTimers() {
 			r.rto *= 2
 			if maxRTO := c.maxRTO(); r.rto > maxRTO {
 				r.rto = maxRTO
+			}
+			if c.jit != nil {
+				// Equal jitter: land in [rto/2, rto), floored at the
+				// minimum RTO, so concurrent losers spread their retries
+				// across half the backoff window instead of colliding.
+				j := r.rto/2 + sim.Time(float64(r.rto/2)*c.jit.Frac())
+				if minv := c.minRTO(); j < minv {
+					j = minv
+				}
+				r.rto = j
 			}
 			// Karn: the backed-off timeout also governs segments sent until
 			// a fresh sample from an unretransmitted segment arrives.

@@ -1,0 +1,88 @@
+package sandbox
+
+import (
+	"testing"
+
+	"ashs/internal/sim"
+)
+
+// TestQuotaAdmitChargeRefuse: a tenant runs until its window budget is
+// spent, is refused after, and other tenants are unaffected.
+func TestQuotaAdmitChargeRefuse(t *testing.T) {
+	q := NewQuotaLedger(1000, 300)
+	now := sim.Time(10)
+	for i := 0; i < 3; i++ {
+		if !q.Admit("a", now) {
+			t.Fatalf("run %d: tenant a refused under budget", i)
+		}
+		q.Charge("a", 100)
+	}
+	if q.Admit("a", now) {
+		t.Fatal("tenant a admitted with budget spent")
+	}
+	if !q.Admit("b", now) {
+		t.Fatal("tenant b refused by tenant a's spend")
+	}
+	if q.Admitted != 4 || q.Refused != 1 {
+		t.Fatalf("admitted/refused = %d/%d, want 4/1", q.Admitted, q.Refused)
+	}
+}
+
+// TestQuotaWindowRoll: spend clears when virtual time crosses into the
+// next window, and a run admitted in window N charges window N.
+func TestQuotaWindowRoll(t *testing.T) {
+	q := NewQuotaLedger(1000, 100)
+	if !q.Admit("a", 50) {
+		t.Fatal("fresh tenant refused")
+	}
+	q.Charge("a", 100)
+	if q.Admit("a", 900) {
+		t.Fatal("admitted inside exhausted window")
+	}
+	if !q.Admit("a", 1001) {
+		t.Fatal("refused after window rolled")
+	}
+	if got := q.Remaining("a", 1001); got != 100 {
+		t.Fatalf("remaining after roll = %d, want 100", got)
+	}
+}
+
+// TestQuotaPerTenantBudget: SetBudget overrides the default, including
+// marking a tenant unlimited.
+func TestQuotaPerTenantBudget(t *testing.T) {
+	q := NewQuotaLedger(1000, 100)
+	q.SetBudget("big", 500)
+	q.SetBudget("infra", 0) // unlimited
+	q.Charge("big", 400)
+	if !q.Admit("big", 1) {
+		t.Fatal("big refused under its raised budget")
+	}
+	q.Charge("big", 200)
+	if q.Admit("big", 1) {
+		t.Fatal("big admitted over its raised budget")
+	}
+	for i := 0; i < 50; i++ {
+		if !q.Admit("infra", 1) {
+			t.Fatal("unlimited tenant refused")
+		}
+		q.Charge("infra", 1000)
+	}
+	if got := q.Remaining("infra", 1); got != -1 {
+		t.Fatalf("unlimited tenant remaining = %d, want -1", got)
+	}
+}
+
+// TestQuotaUnlimitedDefault: a ledger with no default budget admits
+// everything (the zero-cost configuration).
+func TestQuotaUnlimitedDefault(t *testing.T) {
+	q := NewQuotaLedger(1000, 0)
+	for i := 0; i < 10; i++ {
+		if !q.Admit("x", sim.Time(i)) {
+			t.Fatal("refused with unlimited default")
+		}
+		q.Charge("x", 1<<20)
+	}
+	if q.Refused != 0 {
+		t.Fatalf("refused = %d, want 0", q.Refused)
+	}
+}
