@@ -114,6 +114,20 @@ if ! cmp -s "$tracedir/overload-serial.txt" "$tracedir/overload-parallel.txt"; t
     exit 1
 fi
 
+# The megascale experiment gets its own gate, in quick mode (the full
+# grid builds a million-endpoint world): 64k kernel-free flyweight
+# endpoints against one full server host, with per-endpoint open-loop
+# schedules and retry timers — the largest event population in the suite
+# — must render byte-identical stdout at any parallelism.
+echo "== megascale flyweight determinism (byte-identical stdout)"
+"$tracedir/ashbench" -experiment megascale -quick -parallel 1 >"$tracedir/mega-serial.txt" 2>/dev/null
+"$tracedir/ashbench" -experiment megascale -quick >"$tracedir/mega-parallel.txt" 2>/dev/null
+if ! cmp -s "$tracedir/mega-serial.txt" "$tracedir/mega-parallel.txt"; then
+    echo "megascale output differs between -parallel=1 and the default pool"
+    diff "$tracedir/mega-serial.txt" "$tracedir/mega-parallel.txt" | head -40
+    exit 1
+fi
+
 # Coverage gate: per-package coverage is printed for review; the total
 # must not regress below the floor (measured baseline minus slack).
 echo "== coverage (floor 78.0%)"

@@ -1,0 +1,80 @@
+// Command megascalebench runs the megascale flyweight fan-in sweep
+// (internal/bench, -experiment megascale) and writes the machine-readable
+// scaling curve as JSON — the committed BENCH_megascale.json snapshot the
+// roadmap's sub-linearity claim is audited against. Every number comes
+// from the deterministic simulation, so regenerating the file on any
+// machine yields identical bytes.
+//
+//	go run ./cmd/megascalebench                 # writes BENCH_megascale.json
+//	go run ./cmd/megascalebench -quick -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ashs/internal/bench"
+)
+
+type point struct {
+	Workload    string  `json:"workload"`
+	N           int     `json:"n"`
+	Filters     int     `json:"filters"`
+	TrieDepth   int     `json:"trie_depth"`
+	Msgs        uint64  `json:"msgs"`
+	DemuxPerMsg float64 `json:"demux_cyc_per_msg"`
+	CycPerMsg   float64 `json:"kernel_cyc_per_msg"`
+	BytesPerEp  int     `json:"bytes_per_endpoint"`
+	P99Us       float64 `json:"p99_us"`
+	IncastP99Us float64 `json:"incast_p99_us"`
+	Retries     uint64  `json:"retries"`
+	Failures    uint64  `json:"failures"`
+}
+
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	Quick       bool    `json:"quick"`
+	Points      []point `json:"points"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_megascale.json", "output file")
+	quick := flag.Bool("quick", false, "run the reduced quick-mode grid")
+	parallel := flag.Int("parallel", 1, "worker pool size (results are identical at any level)")
+	flag.Parse()
+
+	cfg := &bench.Config{Quick: *quick, Parallel: *parallel}
+	rep := report{GeneratedBy: "cmd/megascalebench", Quick: *quick}
+	for _, r := range bench.MegascaleSweep(cfg) {
+		p := point{
+			Workload:    r.Workload,
+			N:           r.N,
+			Filters:     r.Filters,
+			TrieDepth:   r.TrieDepth,
+			Msgs:        r.Msgs,
+			DemuxPerMsg: r.DemuxPerMsg,
+			CycPerMsg:   r.CycPerMsg,
+			BytesPerEp:  r.BytesPerEp,
+			P99Us:       r.P99Us,
+			IncastP99Us: r.IncastP99Us,
+			Retries:     r.Retries,
+			Failures:    r.Failures,
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Fprintf(os.Stderr, "%-8s N=%-8d depth=%d demux=%.1f cyc/msg B/ep=%d\n",
+			p.Workload, p.N, p.TrieDepth, p.DemuxPerMsg, p.BytesPerEp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megascalebench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "megascalebench:", err)
+		os.Exit(1)
+	}
+}

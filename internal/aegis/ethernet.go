@@ -130,6 +130,14 @@ func (e *EthernetIf) BindFilter(p *Process, f *dpf.Filter) (*EthBinding, error) 
 	return b, nil
 }
 
+// TrieDepth reports the DPF trie's deepest installed path (see
+// dpf.Engine.Depth): the structural bound one demux walk pays no matter
+// how many filters are installed.
+func (e *EthernetIf) TrieDepth() int { return e.engine.Depth() }
+
+// Filters reports the number of installed filters.
+func (e *EthernetIf) Filters() int { return e.engine.Len() }
+
 // UnbindFilter removes a binding.
 func (e *EthernetIf) UnbindFilter(b *EthBinding) error {
 	delete(e.bindings, b.ID)

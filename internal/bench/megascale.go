@@ -1,0 +1,537 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"ashs/internal/aegis"
+	"ashs/internal/core"
+	"ashs/internal/dpf"
+	"ashs/internal/flyweight"
+	"ashs/internal/mach"
+	"ashs/internal/netdev"
+	"ashs/internal/proto/ether"
+	"ashs/internal/proto/ip"
+	"ashs/internal/proto/link"
+	"ashs/internal/proto/nfs"
+	"ashs/internal/proto/retry"
+	"ashs/internal/proto/tcp"
+	"ashs/internal/proto/udp"
+	"ashs/internal/sim"
+	"ashs/internal/workload"
+)
+
+// The megascale experiment pushes the scale experiment's fan-in claim
+// three orders of magnitude further: one full aegis server host versus up
+// to 10^6 clients. Full client hosts cap the sweep at a few hundred (each
+// pins a kernel arena and receive pool), so the clients here are
+// internal/flyweight endpoints — wire-exact traffic generators with no
+// kernel behind them — while the measured side stays byte-for-byte the
+// scale experiment's server: same interrupt path, same DPF trie, same
+// striping DMA and ASH dispatch.
+//
+// Three workloads sweep N:
+//
+//   - udp-echo: one 3-atom source filter plus a shared echo ASH per
+//     endpoint. At N=10^6 the server demuxes against a million installed
+//     filters; demux cyc/msg staying flat is the headline sub-linearity.
+//   - tcp-pp:   full fan-in accept path (per-client listen filter, 6-atom
+//     connection filter, AcceptHandoff, shared ConnTable); reports the
+//     table's peak bucket spread.
+//   - nfs-read: RPC fan-in to one server socket whose ring runs a
+//     high-watermark, so the incast phase exercises shed-then-retry.
+//
+// Each cell drives an open-loop Poisson trace (steady state), then two
+// synchronized incast waves; steady-state and incast tails are reported
+// separately. Worlds are self-contained and deterministic, so output is
+// byte-identical at any -parallel level.
+
+var megaWorkloads = []string{"udp-echo", "tcp-pp", "nfs-read"}
+
+// megascaleNs is the per-workload endpoint sweep. TCP and NFS keep full
+// server-side state per client (connections; resolver entries), so their
+// sweeps stop earlier; udp-echo is the pure-demux ladder that reaches
+// 10^6 installed filters. Quick mode caps the ladders for CI.
+func megascaleNs(cfg *Config, wl string) []int {
+	switch wl {
+	case "udp-echo":
+		if cfg.quick() {
+			return []int{1024, 8192, 65536}
+		}
+		return []int{1024, 8192, 65536, 262144, 1048576}
+	case "tcp-pp":
+		if cfg.quick() {
+			return []int{256, 1024}
+		}
+		return []int{256, 1024, 4096}
+	case "nfs-read":
+		if cfg.quick() {
+			return []int{1024, 8192}
+		}
+		return []int{1024, 8192, 65536}
+	}
+	panic("bench: unknown megascale workload " + wl)
+}
+
+const (
+	megaSeed      = 61096 // fixed run seed (trace + retry jitter)
+	megaPayload   = 64    // echo message size (UDP and TCP)
+	megaReadBytes = 1024  // NFS read size
+	megaFileBytes = 4096  // NFS served file
+	megaWaves     = 2     // synchronized incast waves per cell
+	megaQuietUs   = 50_000
+	megaWaveGapUs = 500_000
+
+	// Offered steady-state load: fleet-wide mean inter-arrival gaps,
+	// chosen below each workload's service capacity so the Poisson phase
+	// measures queueing, not collapse. Capacity is reply-serialization
+	// bound on the 10-Mb/s Ethernet (the scale experiment's measured
+	// ceilings): ~10 echoes/ms, ~3.6 TCP rounds/ms, and only ~1.1 NFS
+	// reads/ms (a 1-KiB read reply alone serializes for ~870 us).
+	megaUDPGapUs = 150
+	megaTCPGapUs = 600
+	megaNFSGapUs = 2500
+
+	// megaNFSHighWater is the nfsd ring's admission limit: the incast
+	// wave overruns it and the shed-then-retry path must recover.
+	megaNFSHighWater = 96
+
+	megaServerMem    = 48 << 20
+	megaTCPServerMem = 512 << 20 // 4096 live connections of window state
+	megaUDPPool      = 64        // echo ASH consumes in the interrupt path
+	megaNFSPool      = 256       // ring holds frames up to the high water
+	megaTCPPoolSlack = 64
+)
+
+// megaEvents sizes the steady-state trace.
+func megaEvents(cfg *Config, wl string, n int) int {
+	full := 32768
+	switch wl {
+	case "tcp-pp":
+		full = 8 * n // ~8 ping-pong rounds per connection
+		if full > 32768 {
+			full = 32768
+		}
+	case "nfs-read":
+		full = 8192 // NFS service is ~9x slower than the echo path
+	}
+	if cfg.quick() {
+		full /= 4
+	}
+	return full
+}
+
+// megaWaveClients sizes the incast waves: each wave must be drainable
+// within the fleet's retry span, and the NFS server serves ~1.1 req/ms,
+// so its waves are half-size.
+func megaWaveClients(wl string) int {
+	if wl == "nfs-read" {
+		return 512
+	}
+	return 1024
+}
+
+// megaRetry is the per-workload backoff schedule (Budget counts
+// reply-wait windows; see flyweight.Config). Windows sit well above each
+// workload's worst incast tail so a queued-but-alive request is not
+// retransmitted into the burst that delayed it — except NFS, whose
+// tighter window is the point: shed requests must come back quickly, and
+// the van der Corput first slot spreads the comeback.
+func megaRetry(wl string) retry.Policy {
+	switch wl {
+	case "udp-echo":
+		return retry.Policy{BaseUs: 400_000, Budget: 4}
+	case "tcp-pp":
+		return retry.Policy{BaseUs: 800_000, Budget: 6}
+	case "nfs-read":
+		return retry.Policy{BaseUs: 50_000, CapUs: 800_000, Budget: 10}
+	}
+	panic("bench: unknown megascale workload " + wl)
+}
+
+// MegaResult is one (workload, N) cell's measurement.
+type MegaResult struct {
+	Workload string
+	N        int
+	// Filters and TrieDepth describe the server's DPF engine after
+	// install: at N=10^6 the udp-echo trie holds a million filters and is
+	// still 3 deep.
+	Filters   int
+	TrieDepth int
+	Msgs      uint64 // completed client operations (both phases)
+	// CycPerMsg / DemuxPerMsg are the server's kernel receive cost per
+	// accepted frame, exactly as the scale experiment computes them.
+	CycPerMsg   float64
+	DemuxPerMsg float64
+	// BytesPerEp is the static flyweight footprint per endpoint.
+	BytesPerEp int
+	// P99Us is the steady-state (Poisson) tail; IncastP99Us the tail of
+	// the synchronized waves.
+	P99Us       float64
+	IncastP99Us float64
+	Retries     uint64
+	Failures    uint64
+	Sheds       uint64 // server high-watermark sheds (nfs-read)
+	// Conns / Spread: peak concurrent ConnTable occupancy and the
+	// max/mean bucket load at that peak (tcp-pp only).
+	Conns  int
+	Spread float64
+}
+
+// megaWorld is the server side of one cell: a full aegis host, exactly as
+// the scale experiment builds one.
+type megaWorld struct {
+	eng  *sim.Engine
+	prof *mach.Profile
+	sw   *netdev.Switch
+	k    *aegis.Kernel
+	e    *aegis.EthernetIf
+	ip   ip.Addr
+	sys  *core.System
+}
+
+// newMegaWorld builds the server first so its port (and therefore its
+// address) precedes the fleet's.
+func newMegaWorld(mem, pool int) *megaWorld {
+	eng := sim.NewEngine()
+	prof := mach.DS5000_240()
+	sw := netdev.NewSwitch(eng, prof, netdev.EthernetConfig())
+	k := aegis.NewKernelMem("srv", eng, prof, mem)
+	e := aegis.NewEthernetPool(k, sw, pool)
+	return &megaWorld{eng: eng, prof: prof, sw: sw, k: k, e: e,
+		ip: ip.HostAddr(e.Addr()), sys: core.NewSystem(k)}
+}
+
+// fleet builds the flyweight side over the world's switch.
+func (w *megaWorld) fleet(kind flyweight.Kind, n int, port uint16, pol retry.Policy) *flyweight.Fleet {
+	return flyweight.NewFleet(flyweight.Config{
+		Eng: w.eng, Prof: w.prof, Sw: w.sw,
+		Kind: kind, N: n,
+		ServerIP: w.ip, ServerLink: w.e.Addr(), ServerPort: port,
+		ClientPort: scaleClientPort,
+		Payload:    megaPayload,
+		ReadBytes:  megaReadBytes, FileBytes: megaFileBytes, Handle: uint32(nfs.RootHandle) + 1,
+		Window: 8192, Checksum: true,
+		Retry: pol, Seed: megaSeed,
+	})
+}
+
+// stack builds an IP stack for a server process, optionally arming the
+// binding's ring high-watermark (the overload-control admission plane).
+func (w *megaWorld) stack(p *aegis.Process, f *dpf.Filter, res ip.StaticResolver, highWater int) *ip.Stack {
+	lep, err := link.BindEthernet(w.e, p, f)
+	if err != nil {
+		panic(err)
+	}
+	if highWater > 0 {
+		lep.Binding().Ring.HighWater = highWater
+	}
+	st := ip.NewStack(lep, w.ip, res)
+	st.LinkHdrLen = ether.HeaderLen
+	myMAC := ether.PortMAC(w.e.Addr())
+	st.PrependLink = func(dst link.Addr, b []byte) []byte {
+		eh := ether.Header{Dst: ether.PortMAC(dst.Port), Src: myMAC, Type: ether.TypeIPv4}
+		return eh.Marshal(b)
+	}
+	return st
+}
+
+// resolver maps the fleet's addresses (the server replies through its
+// stack for tcp-pp and nfs-read; udp-echo answers raw from the ASH).
+func (w *megaWorld) resolver(flt *flyweight.Fleet) ip.StaticResolver {
+	res := ip.StaticResolver{w.ip: link.Addr{Port: w.e.Addr()}}
+	for i := 0; i < flt.Len(); i++ {
+		res[flt.Addr(i)] = link.Addr{Port: flt.Link(i)}
+	}
+	return res
+}
+
+// collect folds the server counters and fleet histograms into the result.
+func (w *megaWorld) collect(wl string, n int, flt *flyweight.Fleet) MegaResult {
+	r := MegaResult{
+		Workload: wl, N: n,
+		Filters: w.e.Filters(), TrieDepth: w.e.TrieDepth(),
+		Msgs:       flt.Completed(),
+		BytesPerEp: flt.StaticBytesPerEndpoint(),
+		Retries:    flt.Retries, Failures: flt.Failures,
+		Sheds: w.e.LoadSheds,
+	}
+	if rx := w.e.RxFrames; rx > 0 {
+		kernel := sim.Time(w.k.Interrupts)*sim.Time(w.prof.InterruptCycles) +
+			sim.Time(rx)*sim.Time(w.prof.DeviceRxService) +
+			w.e.DemuxCycles
+		r.CycPerMsg = float64(kernel) / float64(rx)
+		r.DemuxPerMsg = float64(w.e.DemuxCycles) / float64(rx)
+	}
+	r.P99Us = w.prof.Us(flt.Hist.Quantile(0.99))
+	r.IncastP99Us = w.prof.Us(flt.IncastHist.Quantile(0.99))
+	return r
+}
+
+func runMegaCell(wl string, n int, cfg *Config) MegaResult {
+	events := megaEvents(cfg, wl, n)
+	switch wl {
+	case "udp-echo":
+		return runMegaUDP(n, events)
+	case "tcp-pp":
+		return runMegaTCP(n, events)
+	case "nfs-read":
+		return runMegaNFS(n, events)
+	}
+	panic("bench: unknown megascale workload " + wl)
+}
+
+// megaSourceFilter is the per-endpoint demux filter of the udp-echo
+// sweep: 3 atoms (IPv4, UDP, source host). Every endpoint's filter
+// shares the first two levels and diverges in one multi-way branch on
+// the source address, which is why a 10^6-filter trie is 3 deep and a
+// walk's cost is flat in N.
+func megaSourceFilter(src ip.Addr) *dpf.Filter {
+	return dpf.NewFilter().
+		Eq16(12, ether.TypeIPv4).
+		Eq8(ether.HeaderLen+9, ip.ProtoUDP).
+		Eq32(ether.HeaderLen+12, ipU32(src))
+}
+
+// runMegaUDP: one shared echo ASH behind N source filters. The handler
+// is shared — a per-endpoint closure would put N copies of everything a
+// closure pins on the heap — so it derives the reply's destination from
+// the frame's provenance (the ring entry's source port) instead of
+// captured state.
+func runMegaUDP(n, events int) MegaResult {
+	w := newMegaWorld(megaServerMem, megaUDPPool)
+	flt := w.fleet(flyweight.UDPEcho, n, scaleEchoPort, megaRetry("udp-echo"))
+
+	w.k.Spawn("echo", func(p *aegis.Process) {
+		srvMAC := ether.PortMAC(w.e.Addr())
+		ash := w.sys.NewFuncASH(p, "mega-echo", true, func(ctx *core.Ctx) aegis.Disposition {
+			const off = ether.HeaderLen + ip.HeaderLen + udp.HeaderLen
+			nb := ctx.Entry().Len
+			if nb < off+8 {
+				return aegis.DispToUser
+			}
+			// Header validation (same modeled cost as the scale ASH).
+			ctx.Straightline(48, 12)
+			src := ctx.Entry().Src
+			pl := nb - off
+			eh := ether.Header{Dst: ether.PortMAC(src), Src: srvMAC, Type: ether.TypeIPv4}
+			frame := eh.Marshal(nil)
+			ih := ip.Header{TotalLen: uint16(ip.HeaderLen + udp.HeaderLen + pl),
+				TTL: 64, Proto: ip.ProtoUDP, DF: true, Src: w.ip, Dst: ip.HostAddr(src)}
+			frame = ih.Marshal(frame)
+			frame = binary.BigEndian.AppendUint16(frame, scaleEchoPort)
+			frame = binary.BigEndian.AppendUint16(frame, scaleClientPort)
+			frame = binary.BigEndian.AppendUint16(frame, uint16(udp.HeaderLen+pl))
+			frame = binary.BigEndian.AppendUint16(frame, 0)
+			raw := ctx.RawData()
+			for j := 0; j < pl; j++ {
+				frame = append(frame, raw[aegis.StripedIndex(off+j)])
+			}
+			// Byte-wise echo copy out of the striped buffer.
+			ctx.Straightline(2*pl, pl)
+			ctx.Send(src, 0, frame)
+			return aegis.DispConsumed
+		})
+		for i := 0; i < n; i++ {
+			b, err := w.e.BindFilter(p, megaSourceFilter(flt.Addr(i)))
+			if err != nil {
+				panic(err)
+			}
+			// Attach directly: AttachEth also registers a detach closure
+			// per binding, which is pure overhead times 10^6 here.
+			b.Handler = ash
+		}
+	})
+
+	tr := workload.Poisson(megaSeed, workload.Spec{
+		Clients: n, Events: events, MeanGapUs: megaUDPGapUs, Size: megaPayload})
+	flt.Run(tr, megaWaves, megaWaveClients("udp-echo"), megaQuietUs, megaWaveGapUs)
+	w.eng.Run()
+	return w.collect("udp-echo", n, flt)
+}
+
+// runMegaTCP: the scale experiment's fan-in accept path (per-client
+// listen filter, 6-atom connection filter, AcceptHandoff, shared
+// ConnTable), served to flyweight FlyConn clients. The server echoes
+// until the client's FIN (flyweights close first), so connection
+// lifetimes follow the trace without the server knowing the schedule.
+func runMegaTCP(n, events int) MegaResult {
+	w := newMegaWorld(megaTCPServerMem, 2*n+megaTCPPoolSlack)
+	flt := w.fleet(flyweight.TCPPingPong, n, scaleTCPPort, megaRetry("tcp-pp"))
+	res := w.resolver(flt)
+
+	srvCfg := tcp.DefaultConfig()
+	srvCfg.MSS = EthernetTCPMSS
+	srvCfg.Polling = false
+	srvCfg.Mode = tcp.ModeASH
+	srvCfg.Sys = w.sys
+
+	tbl := tcp.NewConnTable(n / 4)
+	peak := 0
+	var peakLoads []int
+	for i := 0; i < n; i++ {
+		i := i
+		w.k.Spawn(fmt.Sprintf("srv-%06d", i), func(p *aegis.Process) {
+			lst := w.stack(p, scalePeerFilter(w.ip, ip.ProtoTCP, scaleTCPPort, flt.Addr(i)), res, 0)
+			d, ok, err := lst.RecvUntil(false, 0)
+			if err != nil || !ok {
+				panic(fmt.Sprintf("megascale: listener %d: ok=%v err=%v", i, ok, err))
+			}
+			syn, isSyn := tcp.ParseSyn(d)
+			lst.Release(d)
+			if !isSyn {
+				panic(fmt.Sprintf("megascale: listener %d got non-SYN", i))
+			}
+			st := w.stack(p,
+				scaleConnFilter(w.ip, ip.ProtoTCP, scaleTCPPort, syn.RemoteIP, syn.RemotePort), res, 0)
+			conn, err := tcp.AcceptHandoff(st, srvCfg, scaleTCPPort, syn)
+			if err != nil {
+				panic(err)
+			}
+			if err := tbl.Bind(conn.Tuple(), conn); err != nil {
+				panic(err)
+			}
+			// The engine serializes processes, so the peak snapshot needs
+			// no lock; deterministic because accept order is.
+			if l := tbl.Len(); l > peak {
+				peak, peakLoads = l, tbl.Loads()
+			}
+			buf := p.AS.MustAlloc(megaPayload, "echo")
+			for {
+				if err := conn.ReadFull(buf.Base, megaPayload); err != nil {
+					break // client FIN: the schedule is done
+				}
+				if err := conn.WriteBytes(w.k.Bytes(buf.Base, megaPayload)); err != nil {
+					break
+				}
+			}
+			if !tbl.Remove(conn.Tuple()) {
+				panic("megascale: connection already removed")
+			}
+			_ = conn.Close()
+		})
+	}
+
+	tr := workload.Poisson(megaSeed, workload.Spec{
+		Clients: n, Events: events, MeanGapUs: megaTCPGapUs, Size: megaPayload})
+	flt.Run(tr, megaWaves, megaWaveClients("tcp-pp"), megaQuietUs, megaWaveGapUs)
+	w.eng.Run()
+
+	r := w.collect("tcp-pp", n, flt)
+	r.Conns = peak
+	if peak > 0 && len(peakLoads) > 0 {
+		max := 0
+		for _, l := range peakLoads {
+			if l > max {
+				max = l
+			}
+		}
+		r.Spread = float64(max) * float64(len(peakLoads)) / float64(peak)
+	}
+	return r
+}
+
+// runMegaNFS: RPC fan-in against one nfsd socket whose ring runs the
+// high-watermark admission plane. The incast waves overrun it; sheds and
+// the fleet's jittered retries are the measurement.
+func runMegaNFS(n, events int) MegaResult {
+	w := newMegaWorld(megaServerMem, megaNFSPool)
+	srv := nfs.NewServer()
+	data := make([]byte, megaFileBytes)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	fh := srv.AddFile("mega", data)
+	flt := w.fleet(flyweight.NFSRead, n, scaleNFSPort, megaRetry("nfs-read"))
+	if uint32(fh) != uint32(nfs.RootHandle)+1 {
+		panic("megascale: unexpected NFS file handle")
+	}
+	res := w.resolver(flt)
+
+	// Serve forever: a retry-born duplicate must not consume a
+	// straggler's slot; the engine drains once the fleet is done.
+	w.k.Spawn("nfsd", func(p *aegis.Process) {
+		st := w.stack(p, scaleListenFilter(w.ip, ip.ProtoUDP, scaleNFSPort), res, megaNFSHighWater)
+		sock := udp.NewSocket(st, scaleNFSPort, udp.Options{})
+		srv.Serve(p, sock, 0)
+	})
+
+	tr := workload.Poisson(megaSeed, workload.Spec{
+		Clients: n, Events: events, MeanGapUs: megaNFSGapUs, Size: megaReadBytes})
+	flt.Run(tr, megaWaves, megaWaveClients("nfs-read"), megaQuietUs, megaWaveGapUs)
+	w.eng.Run()
+	return w.collect("nfs-read", n, flt)
+}
+
+// megascaleCells enumerates the sweep, workload-major like scale.
+func megascaleCells(cfg *Config) []Cell {
+	var cells []Cell
+	for _, wl := range megaWorkloads {
+		for _, n := range megascaleNs(cfg, wl) {
+			wl, n := wl, n
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("megascale/%s/N=%d", wl, n),
+				Run:   func(cc *Config) any { return runMegaCell(wl, n, cc) },
+			})
+		}
+	}
+	return cells
+}
+
+// MegascaleSweep runs the full megascale cell grid and returns the
+// results in canonical cell order — the entry point cmd/megascalebench
+// uses to regenerate the committed BENCH_megascale.json snapshot.
+func MegascaleSweep(cfg *Config) []MegaResult {
+	vs := runCells(cfg, megascaleCells(cfg))
+	out := make([]MegaResult, len(vs))
+	for i, v := range vs {
+		out[i] = v.(MegaResult)
+	}
+	return out
+}
+
+var megaWorkloadDesc = map[string]string{
+	"udp-echo": fmt.Sprintf("%d-byte UDP echo, one 3-atom filter + shared ASH per endpoint", megaPayload),
+	"tcp-pp":   fmt.Sprintf("%d-byte TCP ping-pong via fan-in accept + ConnTable", megaPayload),
+	"nfs-read": fmt.Sprintf("%d-byte NFS reads, one socket, ring high-water %d", megaReadBytes, megaNFSHighWater),
+}
+
+// renderMegascale formats one table per workload. Column sets differ
+// where the workloads measure different things (bucket spread is a
+// ConnTable property; sheds an admission-control one).
+func renderMegascale(cfg *Config, vs []any) string {
+	var b strings.Builder
+	b.WriteString("Megascale: flyweight fan-in, one full server host\n")
+	b.WriteString("  (clients are kernel-free flyweight endpoints; the server is the same full\n")
+	b.WriteString("   aegis kernel as `scale` — cyc/msg computed identically)\n")
+	idx := 0
+	for _, wl := range megaWorkloads {
+		fmt.Fprintf(&b, "  %s: %s\n", wl, megaWorkloadDesc[wl])
+		fmt.Fprintf(&b, "    %8s  %8s  %5s  %6s  %9s  %8s  %5s  %8s  %11s  %7s  %5s",
+			"N", "filters", "depth", "msgs", "demux/msg", "cyc/msg", "B/ep",
+			"p99[us]", "incast[us]", "retries", "fail")
+		switch wl {
+		case "tcp-pp":
+			fmt.Fprintf(&b, "  %6s  %6s", "conns", "spread")
+		case "nfs-read":
+			fmt.Fprintf(&b, "  %6s", "sheds")
+		}
+		b.WriteByte('\n')
+		for range megascaleNs(cfg, wl) {
+			r := vs[idx].(MegaResult)
+			idx++
+			fmt.Fprintf(&b, "    %8d  %8d  %5d  %6d  %9.1f  %8.1f  %5d  %8.1f  %11.1f  %7d  %5d",
+				r.N, r.Filters, r.TrieDepth, r.Msgs, r.DemuxPerMsg, r.CycPerMsg,
+				r.BytesPerEp, r.P99Us, r.IncastP99Us, r.Retries, r.Failures)
+			switch wl {
+			case "tcp-pp":
+				fmt.Fprintf(&b, "  %6d  %6.2f", r.Conns, r.Spread)
+			case "nfs-read":
+				fmt.Fprintf(&b, "  %6d", r.Sheds)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

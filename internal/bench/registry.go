@@ -169,6 +169,14 @@ var experiments = []*Experiment{
 			return RenderOverload(results)
 		},
 	},
+	{
+		Name:  "megascale",
+		Help:  "megascale: 10^6 flyweight clients vs one full server host",
+		Cells: megascaleCells,
+		Render: func(cfg *Config, vs []any) string {
+			return renderMegascale(cfg, vs)
+		},
+	},
 }
 
 // Workload sizing shared between the registry and the Run* entry points.

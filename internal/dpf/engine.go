@@ -44,6 +44,26 @@ func NewEngine() *Engine {
 	return &Engine{root: &node{}, filters: map[FilterID]*Filter{}}
 }
 
+// Depth reports the deepest trie level (atoms along the longest installed
+// path). It is the structural bound on a demux walk: the scale experiments
+// report it next to the measured cyc/msg to show the walk depth — not the
+// filter count — is what demux cost tracks.
+func (e *Engine) Depth() int {
+	return trieDepth(e.root)
+}
+
+func trieDepth(n *node) int {
+	deepest := 0
+	for _, b := range n.branches {
+		for _, kid := range b.kids {
+			if d := 1 + trieDepth(kid); d > deepest {
+				deepest = d
+			}
+		}
+	}
+	return deepest
+}
+
 // canonical returns the filter's atoms sorted into trie order.
 func canonical(f *Filter) []Atom {
 	atoms := append([]Atom(nil), f.Atoms...)

@@ -26,6 +26,7 @@ var Determinism = &Analyzer{
 		"ashs/internal/workload",
 		"ashs/internal/relay",
 		"ashs/internal/fault",
+		"ashs/internal/flyweight",
 	),
 	Run: runDeterminism,
 }

@@ -233,14 +233,21 @@ func (p *Port) Transmit(pkt *Packet) error {
 }
 
 // deliver fans a packet out to its destination port(s) right now.
+// Unicast is O(1) in the port count: a million-endpoint switch must not
+// walk a million ports per packet.
 func (s *Switch) deliver(pkt *Packet) {
 	s.Delivered++
 	s.Obs.Inc("net/frames_delivered")
-	for i, dst := range s.ports {
-		if pkt.Dst == Broadcast && i == pkt.Src {
-			continue
+	if pkt.Dst != Broadcast {
+		if pkt.Dst >= 0 && pkt.Dst < len(s.ports) {
+			if dst := s.ports[pkt.Dst]; dst.rx != nil {
+				dst.rx(pkt)
+			}
 		}
-		if pkt.Dst != Broadcast && i != pkt.Dst {
+		return
+	}
+	for i, dst := range s.ports {
+		if i == pkt.Src {
 			continue
 		}
 		if dst.rx != nil {

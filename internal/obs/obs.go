@@ -128,6 +128,17 @@ func (p *Plane) Add(name string, n uint64) {
 	p.Metrics.Counter(name).Add(n)
 }
 
+// SetGauge sets the named gauge to v (nil-safe). Gauges record
+// level-style quantities — the flyweight fleet publishes its resident
+// bytes-per-endpoint here so memory footprint shows up beside the
+// latency metrics when a plane is attached.
+func (p *Plane) SetGauge(name string, v int64) {
+	if p == nil {
+		return
+	}
+	p.Metrics.Gauge(name).Set(v)
+}
+
 // Observe records v into the named histogram (nil-safe).
 func (p *Plane) Observe(name string, v sim.Time) {
 	if p == nil {

@@ -23,17 +23,20 @@ const HeaderLen = 14
 // BroadcastMAC is the all-ones hardware broadcast address.
 var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
 
-// PortMAC synthesizes the locally-administered MAC of a switch port.
+// PortMAC synthesizes the locally-administered MAC of a switch port. The
+// port number occupies the low three octets (24 bits), which keeps the
+// historical two-octet form for ports below 65536 and stays unique up to
+// million-endpoint fan-in worlds.
 func PortMAC(port int) MAC {
-	return MAC{0x02, 0x00, 0x00, 0x00, byte(port >> 8), byte(port)}
+	return MAC{0x02, 0x00, 0x00, byte(port >> 16), byte(port >> 8), byte(port)}
 }
 
 // PortOfMAC recovers the switch port from a synthesized MAC.
 func PortOfMAC(m MAC) (int, bool) {
-	if m[0] != 0x02 || m[1] != 0 || m[2] != 0 || m[3] != 0 {
+	if m[0] != 0x02 || m[1] != 0 || m[2] != 0 {
 		return 0, false
 	}
-	return int(m[4])<<8 | int(m[5]), true
+	return int(m[3])<<16 | int(m[4])<<8 | int(m[5]), true
 }
 
 // String formats the address conventionally.

@@ -17,12 +17,14 @@ type Addr [4]byte
 func V4(a, b, c, d byte) Addr { return Addr{a, b, c, d} }
 
 // HostAddr is the conventional address of switch port n in this testbed.
-// The host number spreads across the low two octets so fan-in worlds with
-// hundreds of ports get distinct addresses (port 0 → 10.0.0.1, port 254 →
-// 10.0.0.255, port 255 → 10.0.1.0, ...).
+// The host number spreads across the low three octets so fan-in worlds
+// with up to ~16M ports get distinct addresses (port 0 → 10.0.0.1,
+// port 254 → 10.0.0.255, port 255 → 10.0.1.0, port 65535 → 10.1.0.0, ...).
+// For ports below 65535 the mapping is identical to the historical
+// two-octet spread, so all committed outputs are unchanged.
 func HostAddr(port int) Addr {
 	n := port + 1
-	return V4(10, 0, byte(n>>8), byte(n))
+	return V4(10, byte(n>>16), byte(n>>8), byte(n))
 }
 
 // String formats dotted quad.

@@ -19,10 +19,16 @@
 package retry
 
 import (
+	"errors"
 	"math/bits"
 
 	"ashs/internal/sim"
 )
+
+// ErrBadSlotWidth is returned by FirstRetrySlot when the slot width is not
+// positive: dividing by zero (or a negative width) would yield a ±Inf-cast
+// garbage slot index rather than a quantization.
+var ErrBadSlotWidth = errors.New("retry: slot width must be > 0")
 
 // Policy describes one backoff schedule: the pre-jitter delay before the
 // k-th retry is BaseUs*2^(k-1), capped at CapUs, and at most Budget
@@ -117,7 +123,11 @@ func (s *State) Reset() { s.Used = 0 }
 // FirstRetrySlot quantizes a first-retry delay into slots of widthUs.
 // Two clients in the same slot would collide on the wire; the van der
 // Corput construction guarantees distinct slots for clients 0..N-1
-// whenever the jitter span BaseUs/2 exceeds N*widthUs.
-func FirstRetrySlot(delayUs, widthUs float64) int {
-	return int(delayUs / widthUs)
+// whenever the jitter span BaseUs/2 exceeds N*widthUs. A non-positive
+// widthUs is a caller bug and yields ErrBadSlotWidth.
+func FirstRetrySlot(delayUs, widthUs float64) (int, error) {
+	if widthUs <= 0 {
+		return 0, ErrBadSlotWidth
+	}
+	return int(delayUs / widthUs), nil
 }

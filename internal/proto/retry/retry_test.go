@@ -58,6 +58,41 @@ func TestBudgetExhausts(t *testing.T) {
 	}
 }
 
+// TestFirstRetrySlotGuard pins the widthUs <= 0 guard: a zero or negative
+// slot width is a defined error, not a ±Inf-cast garbage slot.
+func TestFirstRetrySlotGuard(t *testing.T) {
+	cases := []struct {
+		name      string
+		delayUs   float64
+		widthUs   float64
+		wantSlot  int
+		wantError bool
+	}{
+		{"zero width", 500, 0, 0, true},
+		{"negative width", 500, -1, 0, true},
+		{"zero delay", 0, 10, 0, false},
+		{"exact multiple", 500, 10, 50, false},
+		{"truncates", 509.9, 10, 50, false},
+		{"sub-slot", 3, 10, 0, false},
+	}
+	for _, tc := range cases {
+		slot, err := FirstRetrySlot(tc.delayUs, tc.widthUs)
+		if tc.wantError {
+			if err != ErrBadSlotWidth {
+				t.Errorf("%s: err = %v, want ErrBadSlotWidth", tc.name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if slot != tc.wantSlot {
+			t.Errorf("%s: slot = %d, want %d", tc.name, slot, tc.wantSlot)
+		}
+	}
+}
+
 // TestFirstRetryDesync is the incast de-synchronization property: at
 // N=64 clients sharing one seed, no two clients land in the same
 // first-retry slot. The van der Corput construction makes this hold by
@@ -77,7 +112,10 @@ func TestFirstRetryDesync(t *testing.T) {
 			if !ok {
 				t.Fatalf("client %d: no first retry", c)
 			}
-			slot := FirstRetrySlot(us, width)
+			slot, err := FirstRetrySlot(us, width)
+			if err != nil {
+				t.Fatalf("client %d: FirstRetrySlot: %v", c, err)
+			}
 			if prev, dup := seen[slot]; dup {
 				t.Fatalf("seed %d: clients %d and %d share first-retry slot %d",
 					seed, prev, c, slot)

@@ -118,6 +118,21 @@ func (t *ConnTable) Remove(k FourTuple) bool {
 	return ok
 }
 
+// Loads reports the number of bound connections per bucket, in bucket
+// order. The megascale experiment uses it to show the FNV fold spreads a
+// large fan-in across buckets (max/mean near 1) instead of piling the
+// whole fleet into a few chains.
+func (t *ConnTable) Loads() []int {
+	out := make([]int, len(t.buckets))
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.RLock()
+		out[i] = len(b.m)
+		b.mu.RUnlock()
+	}
+	return out
+}
+
 // Len counts bound connections.
 func (t *ConnTable) Len() int {
 	n := 0

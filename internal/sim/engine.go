@@ -122,7 +122,12 @@ func (e *Engine) Cancel(ev *Event) {
 // Pending reports the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Stop makes Run return after the currently executing event completes.
+// Stop makes the innermost Run/RunUntil return after the currently
+// executing event completes. Called outside any run, the stop is
+// *pending*: the next Run or RunUntil consumes it and returns before
+// firing a single event (a stop requested between runs must not be
+// silently lost — a driver loop that stops its engine and then calls
+// RunFor again expects the stop to win).
 func (e *Engine) Stop() { e.stopped = true }
 
 // step fires the next event. It reports false when the queue is empty.
@@ -145,19 +150,29 @@ func (e *Engine) step() bool {
 }
 
 // Run fires events until the queue is empty or Stop is called. If a process
-// panicked, Run re-panics with the same value.
+// panicked, Run re-panics with the same value. A Stop pending from before
+// the call makes Run return immediately, firing nothing; either way the
+// stop is consumed, so a subsequent Run proceeds normally.
 func (e *Engine) Run() {
-	e.stopped = false
 	for !e.stopped && e.step() {
 	}
+	e.stopped = false
 }
 
-// RunUntil fires events with timestamps <= t and then sets the clock to t
-// (if the simulation had not already passed it).
+// RunUntil fires events with timestamps <= t. If the run completes without
+// being stopped, the clock is then advanced to t (if the simulation had not
+// already passed it). When Stop fires mid-run — or was pending from before
+// the call — the clock stays at the last fired event: advancing it to t
+// would strand still-pending events in the past, making the next Run panic
+// with "time went backwards". The stop is consumed either way.
 func (e *Engine) RunUntil(t Time) {
-	e.stopped = false
 	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
 		e.step()
+	}
+	stopped := e.stopped
+	e.stopped = false
+	if stopped {
+		return
 	}
 	if e.now < t {
 		e.now = t

@@ -120,6 +120,69 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestStopDuringRunUntilThenRun(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.Stop()
+	})
+	e.Schedule(20, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(100)
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d after stopped RunUntil, want 10 (clock must not jump past pending events)", e.Now())
+	}
+	// Regression: this used to panic "time went backwards" because the
+	// stopped RunUntil had advanced the clock to 100 past the event at 20.
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+}
+
+func TestStopBeforeRunHonored(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(5, func() { count++ })
+	e.Stop()
+	e.Run()
+	if count != 0 {
+		t.Fatalf("count = %d, want 0 (pre-run Stop must be honored)", count)
+	}
+	e.Run() // the stop was consumed; this run proceeds
+	if count != 1 {
+		t.Fatalf("count = %d after second Run, want 1", count)
+	}
+
+	e.Schedule(5, func() { count++ }) // fires at 10
+	e.Stop()
+	e.RunUntil(50)
+	if count != 1 || e.Now() != 5 {
+		t.Fatalf("count=%d Now=%d, want count=1 Now=5 (pre-run Stop must halt RunUntil without advancing the clock)", count, e.Now())
+	}
+	e.RunUntil(50)
+	if count != 2 || e.Now() != 50 {
+		t.Fatalf("count=%d Now=%d after second RunUntil, want count=2 Now=50", count, e.Now())
+	}
+}
+
+func TestRunUntilEmptyQueueClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(40)
+	if e.Now() != 40 {
+		t.Fatalf("Now = %d, want 40 (RunUntil on an empty queue advances the idle clock)", e.Now())
+	}
+	e.RunUntil(10)
+	if e.Now() != 40 {
+		t.Fatalf("Now = %d, want 40 (RunUntil never moves the clock backwards)", e.Now())
+	}
+	e.Stop()
+	e.RunUntil(90)
+	if e.Now() != 40 {
+		t.Fatalf("Now = %d, want 40 (a pending Stop suppresses even the idle-clock advance)", e.Now())
+	}
+}
+
 func TestProcSleep(t *testing.T) {
 	e := NewEngine()
 	var trace []Time
