@@ -17,7 +17,7 @@
 // (verification + sandboxing), associate it with a demultiplexing point,
 // and let it run on message arrival:
 //
-//	w := ashs.NewAN2World()
+//	w := ashs.NewWorld()
 //	app := w.Host2.Spawn("app", func(p *ashs.Process) { ... })
 //	ash, err := w.Host2ASH.Download(app, prog, ashs.ASHOptions{})
 //	binding, _ := w.AN2Host2.BindVC(app, 7, 8, 4096)
@@ -295,16 +295,6 @@ func NewWorld(opts ...WorldOption) *World {
 	}
 	return w
 }
-
-// NewAN2World builds two hosts on an AN2 switch.
-//
-// Deprecated: use NewWorld().
-func NewAN2World() *World { return NewWorld() }
-
-// NewEthernetWorld builds two hosts on an Ethernet segment.
-//
-// Deprecated: use NewWorld(WithEthernet()).
-func NewEthernetWorld() *World { return NewWorld(WithEthernet()) }
 
 // AttachObs wires an observability plane into the world's switch and
 // both kernels. Tracing charges no simulated cycles, so attaching a

@@ -9,7 +9,7 @@ import (
 // TestQuickstartFlow exercises the documented public-API flow: build a
 // world, download an echo handler, attach it to a circuit, ping it.
 func TestQuickstartFlow(t *testing.T) {
-	w := ashs.NewAN2World()
+	w := ashs.NewWorld()
 	const vc = 7
 
 	app := w.Host2.Spawn("app", func(p *ashs.Process) {})
@@ -75,7 +75,7 @@ func TestPipeFacade(t *testing.T) {
 // TestTCPOverFacade runs a small TCP exchange through the facade, with the
 // fast path as a sandboxed ASH.
 func TestTCPOverFacade(t *testing.T) {
-	w := ashs.NewAN2World()
+	w := ashs.NewWorld()
 	payload := []byte("facade-level transfer")
 
 	w.Host2.Spawn("server", func(p *ashs.Process) {
@@ -118,7 +118,7 @@ func TestTCPOverFacade(t *testing.T) {
 
 // TestEthernetWorldFacade builds the Ethernet world with ARP.
 func TestEthernetWorldFacade(t *testing.T) {
-	w := ashs.NewEthernetWorld()
+	w := ashs.NewWorld(ashs.WithEthernet())
 	s1, err := w.StartARP(1)
 	if err != nil {
 		t.Fatal(err)

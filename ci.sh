@@ -150,10 +150,34 @@ go test -race -count=1 -run 'TestParallelByteIdentical|TestParallelChaosMatchesS
 # Hot-path microbenchmarks: a short sweep proves the fixtures still run
 # and the trie walk is still allocation-free. The committed
 # BENCH_hotpath.json snapshot is regenerated by hand (cmd/hotpathbench)
-# when the hot paths change, not here — CI machines vary too much for a
-# numeric gate.
+# when the hot paths change; timings are never gated here — CI machines
+# vary too much — but allocation counts are deterministic, so the
+# zero-alloc hot-path contract IS gated: cmd/hotpathbench runs against a
+# temp file, its bench-name structure must match the committed snapshot,
+# and the packet-path / event-queue benches must report 0 allocs/op.
 echo "== hot-path microbenchmarks (smoke)"
 go test -run '^Test' -bench . -benchtime 0.1s ./internal/bench/hotpath/
+
+echo "== hot-path zero-alloc gate (cmd/hotpathbench)"
+hotjson="$workdir/hotpath.json"
+go run ./cmd/hotpathbench -o "$hotjson" 2>/dev/null
+python3 - "$hotjson" <<'PYEOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open("BENCH_hotpath.json"))
+fresh_names = [b["name"] for b in fresh["benchmarks"]]
+committed_names = [b["name"] for b in committed["benchmarks"]]
+if fresh_names != committed_names:
+    sys.exit("BENCH_hotpath.json structure drifted: committed %s vs fresh %s "
+             "— regenerate with `go run ./cmd/hotpathbench`" % (committed_names, fresh_names))
+zero_alloc = {"DPFTrieWalk", "DPFLinearScan", "VCODEDispatch",
+              "SimEventQueue", "CalendarQueue", "PacketPath"}
+bad = [(b["name"], b["allocs_per_op"]) for b in fresh["benchmarks"]
+       if b["name"] in zero_alloc and b["allocs_per_op"] > 0]
+if bad:
+    sys.exit("zero-alloc hot-path regression: %s must report 0 allocs/op" % bad)
+print("hot-path allocs: all zero (%d benches gated)" % len(zero_alloc))
+PYEOF
 
 if command -v staticcheck >/dev/null 2>&1; then
     echo "== staticcheck"

@@ -1,5 +1,6 @@
 // Command ashlint runs the ashlint analyzer suite (internal/lint) over
-// the module: determinism, obsguard, lockdiscipline, allocdiscipline.
+// the module: determinism, obsguard, lockdiscipline, allocdiscipline,
+// bufdiscipline.
 //
 // Standalone:
 //

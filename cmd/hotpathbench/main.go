@@ -46,6 +46,8 @@ func main() {
 		{"VCODEDispatch", hotpath.VCODEDispatch},
 		{"SandboxInstrument", hotpath.SandboxInstrument},
 		{"SimEventQueue", hotpath.SimEventQueue},
+		{"CalendarQueue", hotpath.CalendarQueue},
+		{"PacketPath", hotpath.PacketPath},
 	}
 
 	rep := report{

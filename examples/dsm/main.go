@@ -23,7 +23,7 @@ import (
 func be(v uint32) []byte { return binary.BigEndian.AppendUint32(nil, v) }
 
 func main() {
-	w := ashs.NewAN2World()
+	w := ashs.NewWorld()
 
 	// Home node state.
 	app := w.Host2.Spawn("dsm-home", func(p *ashs.Process) {})

@@ -31,7 +31,7 @@ func echoProgram(replyDst, replyVC int) *ashs.Program {
 }
 
 func measure(useASH bool) float64 {
-	w := ashs.NewAN2World()
+	w := ashs.NewWorld()
 	const vc, iters = 7, 10
 
 	if useASH {

@@ -31,7 +31,7 @@ func main() {
 }
 
 func measure(nprocs int, useASH bool) float64 {
-	w := ashs.NewAN2World()
+	w := ashs.NewWorld()
 	const iters, warmup = 8, 2
 
 	for i := 1; i < nprocs; i++ {

@@ -42,7 +42,7 @@ func cfg(m ashs.TCPMode) ashs.TCPConfig {
 // fetch serves and fetches one document, returning the client's elapsed
 // virtual microseconds and the count of handler-consumed segments.
 func fetch(c ashs.TCPConfig) (float64, uint64) {
-	w := ashs.NewAN2World()
+	w := ashs.NewWorld()
 	doc := make([]byte, 64<<10)
 	rand.New(rand.NewSource(42)).Read(doc)
 

@@ -33,7 +33,7 @@ func TestRingHighWaterShed(t *testing.T) {
 	for i := 0; i < frames; i++ {
 		i := i
 		eng.Schedule(sim.Time(i)*prof.Cycles(200), func() {
-			_ = e1.Port.Transmit(&netdev.Packet{Dst: e2.Addr(), Data: []byte{0x55, byte(i)}})
+			_ = ethTx(e1, e2.Addr(), []byte{0x55, byte(i)})
 		})
 	}
 	eng.Run()
@@ -52,7 +52,7 @@ func TestRingHighWaterShed(t *testing.T) {
 	}
 	// Shed frames must not leak pool buffers: the entries queued plus the
 	// free list must account for the whole pool.
-	if got := len(e2.freeBufs) + b.Ring.Len(); got != EthRxBuffers {
+	if got := e2.freeBufs.len() + b.Ring.Len(); got != EthRxBuffers {
 		t.Fatalf("pool accounting: free+queued = %d, want %d", got, EthRxBuffers)
 	}
 }
@@ -75,7 +75,7 @@ func TestInjectedVsLoadDropSplit(t *testing.T) {
 	// Inject a ring drop on the first frame and a pool drop on the
 	// second; everything after fails only by genuine exhaustion.
 	seen := 0
-	e2.InjectFault = func(pkt *netdev.Packet) DeviceFault {
+	e2.InjectFault = func(pkt *netdev.PacketBuf) DeviceFault {
 		seen++
 		switch seen {
 		case 1:
@@ -89,7 +89,7 @@ func TestInjectedVsLoadDropSplit(t *testing.T) {
 	const extra = 5
 	total := EthRxBuffers + 2 + extra
 	for i := 0; i < total; i++ {
-		_ = e1.Port.Transmit(&netdev.Packet{Dst: e2.Addr(), Data: []byte{0x55, byte(i)}})
+		_ = ethTx(e1, e2.Addr(), []byte{0x55, byte(i)})
 	}
 	eng.Run()
 

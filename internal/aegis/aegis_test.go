@@ -392,6 +392,13 @@ func TestStripeUnstripeRoundTrip(t *testing.T) {
 	}
 }
 
+// ethTx leases a frame on e's switch and transmits it from e's port.
+func ethTx(e *EthernetIf, dst int, data []byte) error {
+	pkt := e.Sw.LeaseData(data)
+	pkt.Dst = dst
+	return e.Port.Transmit(pkt)
+}
+
 func TestEthernetDemuxToCorrectBinding(t *testing.T) {
 	eng := sim.NewEngine()
 	prof := mach.DS5000_240()
@@ -408,9 +415,9 @@ func TestEthernetDemuxToCorrectBinding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1.Port.Transmit(&netdev.Packet{Dst: e2.Addr(), Data: []byte{0x22, 9, 9, 9}})
-	e1.Port.Transmit(&netdev.Packet{Dst: e2.Addr(), Data: []byte{0x11, 8, 8, 8}})
-	e1.Port.Transmit(&netdev.Packet{Dst: e2.Addr(), Data: []byte{0x33, 7, 7, 7}})
+	ethTx(e1, e2.Addr(), []byte{0x22, 9, 9, 9})
+	ethTx(e1, e2.Addr(), []byte{0x11, 8, 8, 8})
+	ethTx(e1, e2.Addr(), []byte{0x33, 7, 7, 7})
 	eng.Run()
 	if bA.Ring.Len() != 1 || bB.Ring.Len() != 1 {
 		t.Fatalf("ring lengths %d/%d, want 1/1", bA.Ring.Len(), bB.Ring.Len())
@@ -551,7 +558,7 @@ func TestEthernetBufferPoolExhaustion(t *testing.T) {
 	// Nobody consumes: the bounded device pool (EthRxBuffers) must fill
 	// and the device must drop, not wedge.
 	for i := 0; i < EthRxBuffers+10; i++ {
-		_ = e1.Port.Transmit(&netdev.Packet{Dst: e2.Addr(), Data: []byte{0x55, byte(i)}})
+		_ = ethTx(e1, e2.Addr(), []byte{0x55, byte(i)})
 	}
 	eng.Run()
 	if e2.DroppedNoBuf != 10 {

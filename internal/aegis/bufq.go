@@ -1,0 +1,54 @@
+package aegis
+
+// bufFIFO is a fixed-capacity FIFO of receive-buffer indices. A device
+// pool recirculates at most its pool-size worth of indices, so the ring
+// buffer never grows in steady state and push/pop allocate nothing (the
+// old []int popped from the front and appended at the back, sliding
+// through — and continually re-allocating — its backing array under
+// load). Reuse order is exactly the old FIFO order: buffers come back
+// into service in the order they were freed.
+type bufFIFO struct {
+	idx   []int
+	head  int
+	count int
+}
+
+// init sizes the ring for n indices and fills it with 0..n-1, the boot
+// state of a receive pool.
+func (q *bufFIFO) init(n int) {
+	q.idx = make([]int, n)
+	for i := 0; i < n; i++ {
+		q.idx[i] = i
+	}
+	q.head, q.count = 0, n
+}
+
+func (q *bufFIFO) len() int { return q.count }
+
+// push appends an index. Overflow beyond the boot capacity (possible
+// only through a misbehaving double-free) falls back to growing, never
+// to silently dropping a buffer.
+func (q *bufFIFO) push(i int) {
+	if q.count == len(q.idx) {
+		next := make([]int, 2*len(q.idx)+1)
+		for j := 0; j < q.count; j++ {
+			next[j] = q.idx[(q.head+j)%len(q.idx)]
+		}
+		q.idx = next
+		q.head = 0
+	}
+	q.idx[(q.head+q.count)%len(q.idx)] = i
+	q.count++
+}
+
+// peek returns the oldest index without removing it; the queue must be
+// non-empty.
+func (q *bufFIFO) peek() int { return q.idx[q.head] }
+
+// pop removes and returns the oldest index; the queue must be non-empty.
+func (q *bufFIFO) pop() int {
+	i := q.idx[q.head]
+	q.head = (q.head + 1) % len(q.idx)
+	q.count--
+	return i
+}

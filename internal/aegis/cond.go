@@ -13,7 +13,7 @@ type Cond struct {
 type condWaiter struct {
 	p        *Process
 	timedOut bool
-	timer    *sim.Event
+	timer    sim.Timer
 }
 
 // Wait releases the CPU and blocks p until Signal or Broadcast.

@@ -33,6 +33,12 @@ type MsgHandler interface {
 // code) runs in. It accumulates cycle costs; effects the handler initiates
 // (sends, ring pushes) take place at arrival-time + accumulated-cost, so
 // handler work is properly serialized on the virtual clock.
+//
+// Receive-path contexts are recycled through a per-kernel freelist: the
+// driver acquires one per arriving frame and retires it once the last of
+// its deferred effects (the commit-time transmits, the ring push) has
+// fired, so the steady-state arrival path allocates nothing. Handlers must
+// not hold a *MsgCtx past their return.
 type MsgCtx struct {
 	K     *Kernel
 	Owner *Process // owning process (addressing context); nil for in-kernel
@@ -61,11 +67,99 @@ type MsgCtx struct {
 	// aborted handler must not have sent (the commit/abort discipline of
 	// Section II-A).
 	sends []queuedSend
+
+	// Freelist plumbing: pins counts scheduled events still holding this
+	// context, done marks the receive path as returned, pooled marks
+	// contexts owned by the kernel freelist (SyntheticMsg contexts are
+	// not), next chains the freelist.
+	pins   int
+	done   bool
+	pooled bool
+	next   *MsgCtx
 }
 
+// queuedSend is one handler-initiated message awaiting commit. On the
+// real receive path the frame is already leased from the wire pool; a
+// synthetic context (no attached interface) falls back to a plain copy,
+// matching its no-communication methodology.
 type queuedSend struct {
+	pkt     *netdev.PacketBuf
 	dst, vc int
 	data    []byte
+}
+
+// acquireMsgCtx takes a scrubbed context from the freelist.
+func (k *Kernel) acquireMsgCtx() *MsgCtx {
+	mc := k.mcFree
+	if mc != nil {
+		k.mcFree = mc.next
+		mc.next = nil
+	} else {
+		mc = &MsgCtx{}
+	}
+	mc.pooled = true
+	return mc
+}
+
+// retireMsgCtx scrubs a pooled context and returns it to the freelist.
+func (k *Kernel) retireMsgCtx(mc *MsgCtx) {
+	if !mc.pooled {
+		return
+	}
+	sends := mc.sends[:0]
+	*mc = MsgCtx{sends: sends}
+	mc.next = k.mcFree
+	k.mcFree = mc
+}
+
+// finishRx closes a receive path: it serializes subsequent kernel work
+// behind this one and retires the context once no scheduled effect still
+// needs it. Drivers defer it at the top of their receive functions.
+func (k *Kernel) finishRx(mc *MsgCtx) {
+	k.kernBusyUntil = mc.When()
+	mc.done = true
+	if mc.pins == 0 {
+		k.retireMsgCtx(mc)
+	}
+}
+
+// unpin drops one scheduled-effect reference.
+func (k *Kernel) unpin(mc *MsgCtx) {
+	mc.pins--
+	if mc.done && mc.pins == 0 {
+		k.retireMsgCtx(mc)
+	}
+}
+
+// mcCommit is the commit-time event: transmit the queued sends.
+func (k *Kernel) mcCommit(a any) {
+	mc := a.(*MsgCtx)
+	var port *netdev.Port
+	if mc.iface != nil {
+		port = mc.iface.Port
+	} else {
+		port = mc.ether.Port
+	}
+	for i := range mc.sends {
+		_ = port.Transmit(mc.sends[i].pkt)
+		mc.sends[i] = queuedSend{}
+	}
+	mc.sends = mc.sends[:0]
+	k.unpin(mc)
+}
+
+// mcRingPush is the delivery-time event: push the arrival notification.
+func (k *Kernel) mcRingPush(a any) {
+	mc := a.(*MsgCtx)
+	mc.ring.push(mc.Entry, sim.Time(k.Prof.SchedDecision))
+	k.unpin(mc)
+}
+
+// mcDoorbell is the doorbell event: push a zero-length notification.
+func (k *Kernel) mcDoorbell(a any) {
+	mc := a.(*MsgCtx)
+	mc.ring.push(RingEntry{Len: 0, BufIndex: -1}, sim.Time(k.Prof.SchedDecision))
+	k.unpin(mc)
 }
 
 // Charge adds handler cycles.
@@ -104,8 +198,22 @@ func (mc *MsgCtx) Send(dst, vc int, data []byte) {
 		mc.Charge(sim.Time(mc.K.Prof.SyscallCycles))
 	}
 	mc.Charge(sim.Time(mc.K.Prof.DeviceTxSetup))
-	buf := append([]byte(nil), data...)
-	mc.sends = append(mc.sends, queuedSend{dst: dst, vc: vc, data: buf})
+	var sw *netdev.Switch
+	switch {
+	case mc.iface != nil:
+		sw = mc.iface.Sw
+	case mc.ether != nil:
+		sw = mc.ether.Sw
+	default:
+		// Synthetic context (Section V-D isolation runs): there is no wire
+		// to lease from and commit never transmits; keep a plain copy.
+		buf := append([]byte(nil), data...)
+		mc.sends = append(mc.sends, queuedSend{dst: dst, vc: vc, data: buf})
+		return
+	}
+	pkt := sw.LeaseData(data)
+	pkt.Dst, pkt.VC = dst, vc
+	mc.sends = append(mc.sends, queuedSend{pkt: pkt, dst: dst, vc: vc})
 }
 
 // commitSends releases queued sends at the path's completion time.
@@ -113,23 +221,24 @@ func (mc *MsgCtx) commitSends() {
 	if len(mc.sends) == 0 {
 		return
 	}
-	var port *netdev.Port
-	if mc.iface != nil {
-		port = mc.iface.Port
-	} else {
-		port = mc.ether.Port
+	if mc.iface == nil && mc.ether == nil {
+		return // synthetic context: nothing reaches a wire
 	}
-	sends := mc.sends
-	mc.sends = nil
-	mc.K.Eng.ScheduleAt(mc.When(), func() {
-		for _, qs := range sends {
-			_ = port.Transmit(&netdev.Packet{Dst: qs.dst, VC: qs.vc, Data: qs.data})
-		}
-	})
+	mc.pins++
+	mc.K.Eng.ScheduleArgAt(mc.When(), mc.K.commitFn, mc)
 }
 
-// abortSends discards queued sends (the handler aborted).
-func (mc *MsgCtx) abortSends() { mc.sends = nil }
+// abortSends discards queued sends (the handler aborted), returning their
+// leases to the wire pool.
+func (mc *MsgCtx) abortSends() {
+	for i := range mc.sends {
+		if pkt := mc.sends[i].pkt; pkt != nil {
+			pkt.Release()
+		}
+		mc.sends[i] = queuedSend{}
+	}
+	mc.sends = mc.sends[:0]
+}
 
 // Doorbell pushes a zero-length notification onto the owning binding's
 // ring at path-completion time: a handler that consumed a message uses it
@@ -140,11 +249,8 @@ func (mc *MsgCtx) Doorbell() {
 		return
 	}
 	mc.Charge(sim.Time(mc.K.Prof.RingUpdateCycles))
-	ring := mc.ring
-	wakeExtra := sim.Time(mc.K.Prof.SchedDecision)
-	mc.K.Eng.ScheduleAt(mc.When(), func() {
-		ring.push(RingEntry{Len: 0, BufIndex: -1}, wakeExtra)
-	})
+	mc.pins++
+	mc.K.Eng.ScheduleArgAt(mc.When(), mc.K.doorbellFn, mc)
 }
 
 // SyntheticMsg fabricates a message context for running a handler in
@@ -195,7 +301,7 @@ type VCBinding struct {
 
 	iface    *AN2If
 	bufs     []Segment
-	freeBufs []int
+	freeBufs bufFIFO
 
 	// DroppedNoBuf counts messages lost to receive-buffer exhaustion;
 	// DroppedTooBig counts messages larger than the bound buffers. Shed
@@ -217,7 +323,7 @@ type AN2If struct {
 
 	// InjectFault, when set, is consulted once per arriving frame so a
 	// fault plane can model device-level failures.
-	InjectFault func(pkt *netdev.Packet) DeviceFault
+	InjectFault func(pkt *netdev.PacketBuf) DeviceFault
 
 	// DroppedNoVC counts messages to unbound circuits. CRCDrops counts
 	// frames the board's frame check rejected; the Injected* counters
@@ -256,6 +362,7 @@ func (a *AN2If) BindVC(p *Process, vc, nbufs, bufSize int) (*VCBinding, error) {
 		return nil, fmt.Errorf("aegis %s: VC %d already bound", a.K.Name, vc)
 	}
 	b := &VCBinding{VC: vc, Owner: p, Ring: NewRing(a.K), iface: a}
+	b.freeBufs.init(nbufs)
 	for i := 0; i < nbufs; i++ {
 		var seg Segment
 		if p != nil {
@@ -272,7 +379,6 @@ func (a *AN2If) BindVC(p *Process, vc, nbufs, bufSize int) (*VCBinding, error) {
 			seg = Segment{Base: base, Len: uint32(bufSize)}
 		}
 		b.bufs = append(b.bufs, seg)
-		b.freeBufs = append(b.freeBufs, i)
 	}
 	a.vcs[vc] = b
 	return b, nil
@@ -283,14 +389,18 @@ func (a *AN2If) BindVC(p *Process, vc, nbufs, bufSize int) (*VCBinding, error) {
 // returns or replaces them"). The caller pays BufferMgmtCycles separately
 // (user code via Process.Compute, handlers via MsgCtx.Charge).
 func (b *VCBinding) FreeBuf(idx int) {
-	b.freeBufs = append(b.freeBufs, idx)
+	b.freeBufs.push(idx)
 }
 
-// receive is the arrival path (event context, at DMA-complete time).
-func (a *AN2If) receive(pkt *netdev.Packet) {
+// receive is the arrival path (event context, at DMA-complete time). The
+// frame buffer is borrowed from the wire for the duration of the call:
+// the driver copies the payload into bound receive buffers and never
+// retains pkt.
+func (a *AN2If) receive(pkt *netdev.PacketBuf) {
 	// The board verifies the frame check sequence before raising any
 	// notification: frames damaged on the wire never reach software.
-	if pkt.FCS != netdev.FrameCheck(pkt.Data) {
+	data := pkt.Bytes()
+	if pkt.FCS != netdev.FrameCheck(data) {
 		a.CRCDrops++
 		return
 	}
@@ -327,14 +437,14 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 		}
 		return
 	}
-	if len(b.freeBufs) == 0 {
+	if b.freeBufs.len() == 0 {
 		b.DroppedNoBuf++
 		a.LoadDrops++
 		return
 	}
-	bufIdx := b.freeBufs[0]
+	bufIdx := b.freeBufs.peek()
 	seg := b.bufs[bufIdx]
-	n := len(pkt.Data)
+	n := len(data)
 	if df.TruncateTo > 0 && df.TruncateTo < n {
 		a.InjectedTruncations++
 		n = df.TruncateTo
@@ -345,18 +455,18 @@ func (a *AN2If) receive(pkt *netdev.Packet) {
 		b.DroppedTooBig++
 		return
 	}
-	b.freeBufs = b.freeBufs[1:]
+	b.freeBufs.pop()
 	// The DMA itself costs no CPU; the driver then flushes the cache over
 	// the message location "to ensure consistency after the DMA".
-	copy(a.K.Bytes(seg.Base, n), pkt.Data[:n])
+	copy(a.K.Bytes(seg.Base, n), data[:n])
 	a.K.Cache.FlushRange(seg.Base, n)
 
-	mc := &MsgCtx{
-		K: a.K, Owner: b.Owner, VC: pkt.VC, Src: pkt.Src, iface: a, ring: b.Ring,
-		Entry: RingEntry{Addr: seg.Base, Len: n, VC: pkt.VC, Src: pkt.Src, BufIndex: bufIdx},
-		t0:    a.K.kernStart(),
-	}
-	defer func() { a.K.kernBusyUntil = mc.When() }()
+	mc := a.K.acquireMsgCtx()
+	mc.K, mc.Owner, mc.VC, mc.Src = a.K, b.Owner, pkt.VC, pkt.Src
+	mc.iface, mc.ring = a, b.Ring
+	mc.Entry = RingEntry{Addr: seg.Base, Len: n, VC: pkt.VC, Src: pkt.Src, BufIndex: bufIdx}
+	mc.t0 = a.K.kernStart()
+	defer a.K.finishRx(mc)
 
 	prof := a.K.Prof
 	o := a.K.Obs
@@ -410,23 +520,21 @@ func (a *AN2If) deliverToUser(b *VCBinding, mc *MsgCtx) {
 	s0 := mc.When()
 	mc.Charge(sim.Time(prof.RingUpdateCycles))
 	a.K.Obs.Span(a.K.Name, "device", "kernel", "ring deliver", s0, mc.When()-s0)
-	wakeExtra := sim.Time(prof.SchedDecision)
-	a.K.Eng.ScheduleAt(mc.When(), func() {
-		b.Ring.push(mc.Entry, wakeExtra)
-	})
+	mc.pins++
+	a.K.Eng.ScheduleArgAt(mc.When(), a.K.ringPushFn, mc)
 }
 
 // Send transmits from process p over vc: the user-level transmission path
 // through the full system call interface plus device setup.
 func (a *AN2If) Send(p *Process, dst, vc int, data []byte) {
 	p.Syscall(sim.Time(a.K.Prof.DeviceTxSetup))
-	buf := append([]byte(nil), data...)
-	_ = a.Port.Transmit(&netdev.Packet{Dst: dst, VC: vc, Data: buf})
+	a.KernelSend(dst, vc, data)
 }
 
 // KernelSend transmits from kernel context (in-kernel endpoints): device
 // setup only, no system call.
 func (a *AN2If) KernelSend(dst, vc int, data []byte) {
-	buf := append([]byte(nil), data...)
-	_ = a.Port.Transmit(&netdev.Packet{Dst: dst, VC: vc, Data: buf})
+	pkt := a.Sw.LeaseData(data)
+	pkt.Dst, pkt.VC = dst, vc
+	_ = a.Port.Transmit(pkt)
 }

@@ -45,11 +45,11 @@ type EthernetIf struct {
 	bindings map[dpf.FilterID]*EthBinding
 
 	bufs     []Segment // striped kernel receive buffers (2x MTU each)
-	freeBufs []int
+	freeBufs bufFIFO
 
 	// InjectFault, when set, is consulted once per arriving frame so a
 	// fault plane can model device-level failures.
-	InjectFault func(pkt *netdev.Packet) DeviceFault
+	InjectFault func(pkt *netdev.PacketBuf) DeviceFault
 
 	// DroppedNoFilter and DroppedNoBuf count load-induced losses (no
 	// matching filter; genuine pool exhaustion). LoadSheds counts frames
@@ -97,6 +97,7 @@ func NewEthernetPool(k *Kernel, sw *netdev.Switch, nbufs int) *EthernetIf {
 		bindings: map[dpf.FilterID]*EthBinding{},
 	}
 	bufSize := 2 * (sw.Cfg.MaxFrame + StripeChunk)
+	e.freeBufs.init(nbufs)
 	for i := 0; i < nbufs; i++ {
 		// Boot-time device pool on a fresh host: exhaustion here is a
 		// misconfigured testbed, not guest misbehavior, so a panic is the
@@ -106,7 +107,6 @@ func NewEthernetPool(k *Kernel, sw *netdev.Switch, nbufs int) *EthernetIf {
 			panic(err)
 		}
 		e.bufs = append(e.bufs, Segment{Base: base, Len: uint32(bufSize)})
-		e.freeBufs = append(e.freeBufs, i)
 	}
 	e.Port.SetReceiver(e.receive)
 	return e
@@ -172,11 +172,14 @@ func StripedIndex(off int) int {
 	return 2*(off/StripeChunk)*StripeChunk + off%StripeChunk
 }
 
-// receive is the frame arrival path.
-func (e *EthernetIf) receive(pkt *netdev.Packet) {
+// receive is the frame arrival path. The frame buffer is borrowed from
+// the wire for the duration of the call: the striping DMA copies the
+// payload into a kernel buffer and the driver never retains pkt.
+func (e *EthernetIf) receive(pkt *netdev.PacketBuf) {
 	// The controller verifies the frame check sequence before raising any
 	// interrupt: frames damaged on the wire never reach software.
-	if pkt.FCS != netdev.FrameCheck(pkt.Data) {
+	data := pkt.Bytes()
+	if pkt.FCS != netdev.FrameCheck(data) {
 		e.CRCDrops++
 		return
 	}
@@ -187,7 +190,6 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 	if e.InjectFault != nil {
 		df = e.InjectFault(pkt)
 	}
-	data := pkt.Data
 	if df.TruncateTo > 0 && df.TruncateTo < len(data) {
 		// Truncated DMA: only a prefix of the frame lands in memory.
 		e.InjectedTruncations++
@@ -226,12 +228,11 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 		}
 		return
 	}
-	if len(e.freeBufs) == 0 {
+	if e.freeBufs.len() == 0 {
 		e.DroppedNoBuf++
 		return
 	}
-	bufIdx := e.freeBufs[0]
-	e.freeBufs = e.freeBufs[1:]
+	bufIdx := e.freeBufs.pop()
 	seg := e.bufs[bufIdx]
 
 	// Striping DMA into the kernel buffer, then the driver's software
@@ -241,12 +242,12 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 	Stripe(buf, data)
 	e.K.Cache.FlushRange(seg.Base, 2*n)
 
-	mc := &MsgCtx{
-		K: e.K, Owner: b.Owner, Src: pkt.Src, ether: e, ring: b.Ring, Striped: true,
-		Entry: RingEntry{Addr: seg.Base, Len: n, Src: pkt.Src, BufIndex: bufIdx},
-		t0:    e.K.kernStart(),
-	}
-	defer func() { e.K.kernBusyUntil = mc.When() }()
+	mc := e.K.acquireMsgCtx()
+	mc.K, mc.Owner, mc.Src = e.K, b.Owner, pkt.Src
+	mc.ether, mc.ring, mc.Striped = e, b.Ring, true
+	mc.Entry = RingEntry{Addr: seg.Base, Len: n, Src: pkt.Src, BufIndex: bufIdx}
+	mc.t0 = e.K.kernStart()
+	defer e.K.finishRx(mc)
 	o := e.K.Obs
 	mc.Charge(intr + sim.Time(prof.DeviceRxService) + demuxCycles)
 	o.Span(e.K.Name, "device", "device", "eth rx demux", mc.t0, mc.Cost())
@@ -260,7 +261,7 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 		o.Span(e.K.Name, "device", "kernel", "ash dispatch", s0, mc.When()-s0)
 		if b.Handler.HandleMsg(mc) == DispConsumed {
 			mc.commitSends()
-			e.freeBufs = append(e.freeBufs, bufIdx)
+			e.freeBufs.push(bufIdx)
 			return
 		}
 		mc.abortSends()
@@ -268,7 +269,7 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 	if b.Upcall != nil {
 		if b.Upcall.dispatch(mc) == DispConsumed {
 			mc.commitSends()
-			e.freeBufs = append(e.freeBufs, bufIdx)
+			e.freeBufs.push(bufIdx)
 			return
 		}
 		mc.abortSends()
@@ -276,21 +277,20 @@ func (e *EthernetIf) receive(pkt *netdev.Packet) {
 	s0 := mc.When()
 	mc.Charge(sim.Time(prof.RingUpdateCycles))
 	o.Span(e.K.Name, "device", "kernel", "ring deliver", s0, mc.When()-s0)
-	wakeExtra := sim.Time(prof.SchedDecision)
-	e.K.Eng.ScheduleAt(mc.When(), func() {
-		b.Ring.push(mc.Entry, wakeExtra)
-	})
+	mc.pins++
+	e.K.Eng.ScheduleArgAt(mc.When(), e.K.ringPushFn, mc)
 }
 
 // FreeBuf returns a device buffer to the pool. Device buffers are scarce:
 // user code must copy out and free promptly or the device drops frames.
-func (e *EthernetIf) FreeBuf(idx int) { e.freeBufs = append(e.freeBufs, idx) }
+func (e *EthernetIf) FreeBuf(idx int) { e.freeBufs.push(idx) }
 
 // Send transmits a frame from process p (full syscall + device setup).
 func (e *EthernetIf) Send(p *Process, dst int, frame []byte) {
 	p.Syscall(sim.Time(e.K.Prof.DeviceTxSetup))
-	buf := append([]byte(nil), frame...)
-	_ = e.Port.Transmit(&netdev.Packet{Dst: dst, Data: buf})
+	pkt := e.Sw.LeaseData(frame)
+	pkt.Dst = dst
+	_ = e.Port.Transmit(pkt)
 }
 
 // Broadcast transmits one frame heard by every other port (ARP-style).

@@ -49,6 +49,14 @@ type Kernel struct {
 
 	memSize uint32
 
+	// mcFree recycles receive-path MsgCtxs; the *Fn fields are the
+	// bound event callbacks scheduled per arrival (bound once here so the
+	// hot path never builds a closure or method value).
+	mcFree     *MsgCtx
+	commitFn   func(any)
+	ringPushFn func(any)
+	doorbellFn func(any)
+
 	// Statistics. BatchedInterrupts counts device arrivals that landed
 	// while the kernel receive path was already busy and were drained from
 	// the ring in the same interrupt service — they charge demux and
@@ -89,6 +97,9 @@ func NewKernelMem(name string, eng *sim.Engine, prof *mach.Profile, memSize int)
 		memSize: uint32(memSize),
 	}
 	k.Sched = NewRoundRobin()
+	k.commitFn = k.mcCommit
+	k.ringPushFn = k.mcRingPush
+	k.doorbellFn = k.mcDoorbell
 	return k
 }
 

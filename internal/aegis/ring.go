@@ -18,10 +18,15 @@ type RingEntry struct {
 	BufIndex int
 }
 
-// Ring is a kernel/user shared notification ring.
+// Ring is a kernel/user shared notification ring. Entries live in a
+// power-of-two circular buffer that doubles when full: steady-state
+// push/pop traffic recirculates the same storage and allocates nothing
+// (the old slide-forward slice re-allocated continuously under load).
 type Ring struct {
 	k       *Kernel
-	entries []RingEntry
+	buf     []RingEntry // circular; len(buf) is a power of two
+	head    int         // index of the oldest entry
+	count   int
 	waiter  *Process
 	polling bool
 
@@ -42,12 +47,30 @@ type Ring struct {
 func NewRing(k *Kernel) *Ring { return &Ring{k: k} }
 
 // Len reports queued notifications.
-func (r *Ring) Len() int { return len(r.entries) }
+func (r *Ring) Len() int { return r.count }
+
+// grow doubles the circular buffer (or seeds it).
+func (r *Ring) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	next := make([]RingEntry, n)
+	for i := 0; i < r.count; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = next
+	r.head = 0
+}
 
 // push appends an entry (kernel side, event context) and wakes any waiter.
 // wakeExtra is charged to a blocked waiter's wakeup path.
 func (r *Ring) push(e RingEntry, wakeExtra sim.Time) {
-	r.entries = append(r.entries, e)
+	if r.count == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.count)&(len(r.buf)-1)] = e
+	r.count++
 	r.Delivered++
 	if r.waiter == nil {
 		return
@@ -65,11 +88,12 @@ func (r *Ring) push(e RingEntry, wakeExtra sim.Time) {
 
 // TryRecv pops the next entry without blocking (no cost charged).
 func (r *Ring) TryRecv() (RingEntry, bool) {
-	if len(r.entries) == 0 {
+	if r.count == 0 {
 		return RingEntry{}, false
 	}
-	e := r.entries[0]
-	r.entries = r.entries[1:]
+	e := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.count--
 	return e, true
 }
 
@@ -101,7 +125,7 @@ func (r *Ring) WaitRecvUntil(p *Process, deadline sim.Time) (RingEntry, bool) {
 		if deadline != 0 && p.K.Now() >= deadline {
 			return RingEntry{}, false
 		}
-		var timer *sim.Event
+		var timer sim.Timer
 		if deadline != 0 {
 			timer = p.K.Eng.ScheduleAt(deadline, func() {
 				if r.waiter == p && !r.polling {
@@ -113,9 +137,7 @@ func (r *Ring) WaitRecvUntil(p *Process, deadline sim.Time) (RingEntry, bool) {
 		r.waiter = p
 		r.polling = false
 		p.block()
-		if timer != nil {
-			p.K.Eng.Cancel(timer)
-		}
+		p.K.Eng.Cancel(timer)
 	}
 }
 

@@ -242,6 +242,7 @@ func runChaosOne(cfg *Config, seed int64, sched fault.Schedule, p ChaosParams) C
 	for (!tcpDone || !nfsDone) && tb.Eng.Now() < limit && tb.Eng.Pending() > 0 {
 		tb.Eng.RunFor(slice)
 	}
+	tb.CheckPool()
 
 	res.TCPOk = tcpDone && tcpVerified && tcpSunk == p.TCPBytes
 	res.NFSOk = nfsDone && nfsVerified

@@ -10,8 +10,10 @@ package hotpath
 import (
 	"testing"
 
+	"ashs/internal/aegis"
 	"ashs/internal/dpf"
 	"ashs/internal/mach"
+	"ashs/internal/netdev"
 	"ashs/internal/sandbox"
 	"ashs/internal/sim"
 	"ashs/internal/vcode"
@@ -151,10 +153,11 @@ func SandboxInstrument(b *testing.B) {
 	}
 }
 
-// SimEventQueue measures one schedule+dispatch through the event heap
-// at a steady depth of QueueDepth events: each fired event reschedules
-// itself QueueDepth ticks out, so every iteration is exactly one heap
-// pop and one push at full depth.
+// SimEventQueue measures one schedule+dispatch through the engine's
+// event queue at a steady depth of QueueDepth events: each fired event
+// reschedules itself QueueDepth ticks out, so every iteration is exactly
+// one pop and one push at full depth. Steady state must allocate
+// nothing: the engine recycles fired events through its freelist.
 func SimEventQueue(b *testing.B) {
 	eng := sim.NewEngine()
 	fired := 0
@@ -176,4 +179,125 @@ func SimEventQueue(b *testing.B) {
 	if fired != b.N {
 		b.Fatalf("fired %d events, want %d", fired, b.N)
 	}
+}
+
+// CalendarQueue measures the retransmit-timer pattern against the
+// calendar event queue — the dominant schedule shape of the megascale
+// fleet, where every request arms a far-future reply-wait timer that the
+// reply almost always cancels. Each dispatched event arms a timer a
+// million ticks out (a sparse far bucket), cancels it, and reschedules
+// itself QueueDepth ticks out through the closure-free ScheduleArg path,
+// so one iteration is one pop, one far insert, one remove, and one near
+// insert — all at 0 allocs/op through the engine's event freelist.
+func CalendarQueue(b *testing.B) {
+	eng := sim.NewEngine()
+	fired := 0
+	var tick func(any)
+	tick = func(a any) {
+		fired++
+		t := eng.ScheduleArg(1_000_000_000, tick, nil) // arm the reply-wait timer
+		eng.Cancel(t)                                  // the reply arrived first
+		eng.ScheduleArg(QueueDepth, tick, a)
+	}
+	for i := 0; i < QueueDepth; i++ {
+		eng.ScheduleArgAt(sim.Time(i), tick, nil)
+	}
+	// As in SimEventQueue, exactly one event fires per tick.
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.RunUntil(sim.Time(b.N - 1))
+	b.StopTimer()
+	if fired != b.N {
+		b.Fatalf("fired %d events, want %d", fired, b.N)
+	}
+}
+
+// packetPathWorld is the PacketPath fixture: one full aegis server host
+// (Ethernet driver, DPF demux, downloaded handler) ping-ponging with a
+// raw client port over a switch — the complete per-message path of the
+// paper's Table I, wire to wire.
+type packetPathWorld struct {
+	eng *sim.Engine
+	sw  *netdev.Switch
+	srv *aegis.EthernetIf
+	cli *netdev.Port
+	req []byte
+
+	count, target int
+}
+
+// HandleMsg is the downloaded server handler: consume the message and
+// send a fixed reply back to the client — the low-latency reply shape
+// ASHs exist for.
+func (w *packetPathWorld) HandleMsg(mc *aegis.MsgCtx) aegis.Disposition {
+	mc.Send(w.cli.Addr(), 0, w.req[:32])
+	return aegis.DispConsumed
+}
+
+// send leases a pooled buffer for the request frame and puts it on the
+// wire from the client port.
+func (w *packetPathWorld) send() {
+	pkt := w.sw.LeaseData(w.req)
+	pkt.Dst = w.srv.Addr()
+	if err := w.cli.Transmit(pkt); err != nil {
+		panic(err)
+	}
+}
+
+// rx is the client's receive path: re-arm the ping-pong until target
+// round trips have completed.
+func (w *packetPathWorld) rx(pkt *netdev.PacketBuf) {
+	w.count++
+	if w.count >= w.target {
+		w.eng.Stop()
+		return
+	}
+	w.send()
+}
+
+func newPacketPathWorld() *packetPathWorld {
+	eng := sim.NewEngine()
+	prof := mach.DS5000_240()
+	w := &packetPathWorld{eng: eng}
+	w.sw = netdev.NewSwitch(eng, prof, netdev.EthernetConfig())
+	k := aegis.NewKernel("srv", eng, prof)
+	w.srv = aegis.NewEthernet(k, w.sw)
+	w.cli = w.sw.NewPort()
+	w.cli.SetReceiver(w.rx)
+
+	w.req = make([]byte, HandlerBytes)
+	w.req[12], w.req[13] = 0x08, 0x00 // ethertype IP
+	w.req[23] = 17                    // protocol UDP
+	w.req[36], w.req[37] = 1000>>8, 1000&0xff
+	f := dpf.NewFilter().Eq16(12, 0x0800).Eq8(23, 17).Eq16(36, 1000)
+	bind, err := w.srv.BindFilter(nil, f)
+	if err != nil {
+		panic(err)
+	}
+	bind.Handler = w
+	return w
+}
+
+// run drives n round trips through the world.
+func (w *packetPathWorld) run(n int) {
+	w.target = w.count + n
+	w.send()
+	w.eng.Run()
+	if w.count != w.target {
+		panic("packet path bench: ping-pong stalled")
+	}
+}
+
+// PacketPath measures one complete request/reply round trip through the
+// redesigned buffer-lease pipeline: client transmit (pool lease) → switch
+// delivery → Ethernet driver (frame check, DPF demux, striping DMA) →
+// downloaded handler → committed reply lease → switch delivery → client
+// re-arm. After warmup the pools and freelists are primed and the whole
+// wire-to-wire path must run at 0 allocs/op.
+func PacketPath(b *testing.B) {
+	w := newPacketPathWorld()
+	w.run(64) // warmup: mint pool buffers, contexts, events
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.run(b.N)
 }

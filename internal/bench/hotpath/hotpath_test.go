@@ -13,6 +13,8 @@ func BenchmarkDPFLinearScan(b *testing.B)     { DPFLinearScan(b) }
 func BenchmarkVCODEDispatch(b *testing.B)     { VCODEDispatch(b) }
 func BenchmarkSandboxInstrument(b *testing.B) { SandboxInstrument(b) }
 func BenchmarkSimEventQueue(b *testing.B)     { SimEventQueue(b) }
+func BenchmarkCalendarQueue(b *testing.B)     { CalendarQueue(b) }
+func BenchmarkPacketPath(b *testing.B)        { PacketPath(b) }
 
 // TestBodiesRun drives each benchmark body through testing.Benchmark —
 // the exact harness cmd/hotpathbench uses — so a fixture regression
@@ -30,6 +32,8 @@ func TestBodiesRun(t *testing.T) {
 		{"VCODEDispatch", VCODEDispatch},
 		{"SandboxInstrument", SandboxInstrument},
 		{"SimEventQueue", SimEventQueue},
+		{"CalendarQueue", CalendarQueue},
+		{"PacketPath", PacketPath},
 	} {
 		if r := testing.Benchmark(bm.fn); r.N == 0 {
 			t.Errorf("%s did not run", bm.name)

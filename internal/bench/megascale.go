@@ -348,6 +348,7 @@ func runMegaUDP(n, events int) MegaResult {
 		Clients: n, Events: events, MeanGapUs: megaUDPGapUs, Size: megaPayload})
 	flt.Run(tr, megaWaves, megaWaveClients("udp-echo"), megaQuietUs, megaWaveGapUs)
 	w.eng.Run()
+	checkPoolDrained(w.eng, w.sw.Pool)
 	return w.collect("udp-echo", n, flt)
 }
 
@@ -417,6 +418,7 @@ func runMegaTCP(n, events int) MegaResult {
 		Clients: n, Events: events, MeanGapUs: megaTCPGapUs, Size: megaPayload})
 	flt.Run(tr, megaWaves, megaWaveClients("tcp-pp"), megaQuietUs, megaWaveGapUs)
 	w.eng.Run()
+	checkPoolDrained(w.eng, w.sw.Pool)
 
 	r := w.collect("tcp-pp", n, flt)
 	r.Conns = peak
@@ -461,6 +463,7 @@ func runMegaNFS(n, events int) MegaResult {
 		Clients: n, Events: events, MeanGapUs: megaNFSGapUs, Size: megaReadBytes})
 	flt.Run(tr, megaWaves, megaWaveClients("nfs-read"), megaQuietUs, megaWaveGapUs)
 	w.eng.Run()
+	checkPoolDrained(w.eng, w.sw.Pool)
 	return w.collect("nfs-read", n, flt)
 }
 

@@ -425,6 +425,7 @@ func runOverloadCell(cfg *Config, tr overloadTrace, schedName string) OverloadRe
 	for done < overloadClients*overloadLanes && w.eng.Now() < limit && w.eng.Pending() > 0 {
 		w.eng.RunFor(slice)
 	}
+	checkPoolDrained(w.eng, w.sw.Pool)
 
 	res := OverloadResult{
 		Trace: tr.Name, Sched: schedName,

@@ -169,7 +169,7 @@ func runWriteHandler(cfg *Config, generic bool, mode sboxMode, nbytes int) handl
 		run.insns = ash.LastInsns()
 		run.cycles = mc.Cost()
 	})
-	tb.Eng.Run()
+	tb.Run()
 	return run
 }
 
@@ -203,7 +203,7 @@ func runRecordHandler(cfg *Config, mode sboxMode) handlerRun {
 		run.insns = ash.LastInsns()
 		run.cycles = mc.Cost()
 	})
-	tb.Eng.Run()
+	tb.Run()
 	return run
 }
 

@@ -202,6 +202,7 @@ func runScaleCell(workload string, n, m int) ScaleResult {
 		panic("bench: unknown scale workload " + workload)
 	}
 	w.eng.Run()
+	checkPoolDrained(w.eng, w.sw.Pool)
 
 	var lo, hi sim.Time
 	for i := 0; i < n; i++ {

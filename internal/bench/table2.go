@@ -167,7 +167,7 @@ func udpLatencyAN2(cfg *Config, iters int, inplace, cksum bool) float64 {
 		}
 		total = p.K.Now() - start
 	})
-	tb.Eng.Run()
+	tb.Run()
 	return tb.Us(total) / float64(iters)
 }
 
@@ -212,7 +212,7 @@ func udpTrain(tb *Testbed, mkSock func(p *aegis.Process, host int) *udp.Socket,
 		}
 		total = p.K.Now() - start
 	})
-	tb.Eng.Run()
+	tb.Run()
 	return tb.Prof.MBps(trains*perTrain*mss, total)
 }
 
@@ -454,7 +454,7 @@ func udpLatencyEth(cfg *Config, iters int) float64 {
 		}
 		total = p.K.Now() - start
 	})
-	tb.Eng.Run()
+	tb.Run()
 	return tb.Us(total) / float64(iters)
 }
 

@@ -99,6 +99,30 @@ func (tb *Testbed) StackAN2(p *aegis.Process, host, vc int) *ip.Stack {
 // Us converts cycles to microseconds under the testbed profile.
 func (tb *Testbed) Us(c sim.Time) float64 { return tb.Prof.Us(c) }
 
+// checkPoolDrained is the end-of-cell leak gate: once the engine has
+// drained, no event can ever Release a buffer again, so any lease still
+// outstanding is leaked — some path leased a frame and lost it. While
+// events remain pending (sliced runs stopped mid-workload) outstanding
+// leases are legitimately owned by in-flight frames and queued commits,
+// and the check is vacuous.
+func checkPoolDrained(eng *sim.Engine, pool *netdev.BufPool) {
+	if eng.Pending() == 0 && pool.InUse() != 0 {
+		panic(fmt.Sprintf("bench: %d pool buffers leaked at end of experiment cell (%d leased, %d released)",
+			pool.InUse(), pool.Leases, pool.Releases))
+	}
+}
+
+// CheckPool applies the leak gate to the testbed's switch pool.
+func (tb *Testbed) CheckPool() { checkPoolDrained(tb.Eng, tb.Sw.Pool) }
+
+// Run drains the engine and verifies the buffer pool's lease
+// accounting. Experiment cells that run to quiescence end through here
+// rather than calling tb.Eng.Run() directly.
+func (tb *Testbed) Run() {
+	tb.Eng.Run()
+	tb.CheckPool()
+}
+
 // RunUntilDone advances the simulation in slices until *done is set (the
 // measurement finished) or maxSimUs of virtual time passes. Competitor
 // processes never exit, so experiments cannot simply drain the engine.
@@ -111,6 +135,7 @@ func (tb *Testbed) RunUntilDone(done *bool, maxSimUs float64) {
 	if !*done {
 		panic("bench: experiment did not complete within its time bound")
 	}
+	tb.CheckPool()
 }
 
 // Row is one line of a rendered result table.

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPoolLeakGate pins the end-of-cell leak detector both ways: a
+// drained world with every lease returned passes, and a deliberately
+// dropped lease panics with the pool accounting in the message.
+func TestPoolLeakGate(t *testing.T) {
+	tb := NewAN2Testbed(&Config{})
+	tb.Run() // empty world drains clean
+
+	leaked := tb.Sw.LeaseData([]byte{1, 2, 3})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("CheckPool did not panic on a leaked lease")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "leaked") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+		leaked.Release()
+		tb.CheckPool() // released: the gate passes again
+	}()
+	tb.CheckPool()
+}

@@ -23,6 +23,10 @@ var ErrDuplicateFilter = errors.New("dpf: duplicate filter")
 type Engine struct {
 	root    *node
 	filters map[FilterID]*Filter
+	// ordered holds the installed ids sorted ascending, maintained on
+	// Insert/Remove so the linear-scan baseline iterates without building
+	// (and sorting) a fresh id slice per packet.
+	ordered []FilterID
 	nextID  FilterID
 }
 
@@ -112,6 +116,7 @@ func (e *Engine) Insert(f *Filter) (FilterID, error) {
 	n.terminal = id
 	n.hasTermnal = true
 	e.filters[id] = f
+	e.ordered = append(e.ordered, id) // ids are issued ascending
 	return id, nil
 }
 
@@ -151,6 +156,12 @@ func (e *Engine) Remove(id FilterID) error {
 		return !n.hasTermnal && len(n.branches) == 0
 	}
 	prune(e.root, canonical(f))
+	for i, oid := range e.ordered {
+		if oid == id {
+			e.ordered = append(e.ordered[:i], e.ordered[i+1:]...)
+			break
+		}
+	}
 	return nil
 }
 
@@ -205,15 +216,10 @@ func (e *Engine) Demux(pkt []byte) (FilterID, sim.Time, bool) {
 // is what the trie's one-pass walk is measured against.
 func (e *Engine) DemuxLinear(pkt []byte) (FilterID, sim.Time, bool) {
 	var cycles sim.Time
-	ids := make([]FilterID, 0, len(e.filters))
-	for id := range e.filters {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	best := FilterID(0)
 	bestAtoms := -1
 	found := false
-	for _, id := range ids {
+	for _, id := range e.ordered {
 		ok, c := Interpret(e.filters[id], pkt)
 		cycles += c
 		if ok && len(e.filters[id].Atoms) > bestAtoms {

@@ -85,7 +85,7 @@ func (p *Plane) AttachSystem(sys *core.System) {
 
 // injectWire applies at most one wire fault per frame, evaluated in
 // declaration order.
-func (p *Plane) injectWire(pkt *netdev.Packet) bool {
+func (p *Plane) injectWire(pkt *netdev.PacketBuf) bool {
 	w := p.Sched.Wire
 	switch {
 	case p.rng.Prob(w.DropProb):
@@ -104,17 +104,17 @@ func (p *Plane) injectWire(pkt *netdev.Packet) bool {
 		// Deliver now and again after the hold interval.
 		p.C.WireDups++
 		p.Obs.Inc("fault/wire_dups")
-		p.holdThenRedeliver(clonePacket(pkt), 1)
+		p.holdThenRedeliver(p.clone(pkt), 1)
 	case p.rng.Prob(w.ReorderProb):
 		// Hold this frame back; frames behind it overtake.
 		p.C.WireReorders++
 		p.Obs.Inc("fault/wire_reorders")
-		p.holdThenRedeliver(clonePacket(pkt), 1)
+		p.holdThenRedeliver(p.clone(pkt), 1)
 		return false
 	case p.rng.Prob(w.DelayProb):
 		p.C.WireDelays++
 		p.Obs.Inc("fault/wire_delays")
-		p.holdThenRedeliver(clonePacket(pkt), p.rng.Float64())
+		p.holdThenRedeliver(p.clone(pkt), p.rng.Float64())
 		return false
 	}
 	return true
@@ -123,23 +123,23 @@ func (p *Plane) injectWire(pkt *netdev.Packet) bool {
 // flipBit corrupts one random bit of the payload. With refresh the FCS is
 // recomputed so the corruption survives the board CRC and only an
 // end-to-end checksum can catch it; without, the board rejects the frame.
-func (p *Plane) flipBit(pkt *netdev.Packet, refresh bool) {
-	if len(pkt.Data) == 0 {
+// The leased wire buffer is already private to this flight (senders hand
+// the switch a copy at Lease time), so the corruption lands in place.
+func (p *Plane) flipBit(pkt *netdev.PacketBuf, refresh bool) {
+	data := pkt.Bytes()
+	if len(data) == 0 {
 		return
 	}
-	// The switch owns pkt.Data until delivery, but a broadcast fans the
-	// same packet out to several ports: corrupt a private copy.
-	pkt.Data = append([]byte(nil), pkt.Data...)
-	i := p.rng.Intn(len(pkt.Data) * 8)
-	pkt.Data[i/8] ^= 1 << (i % 8)
+	i := p.rng.Intn(len(data) * 8)
+	data[i/8] ^= 1 << (i % 8)
 	if refresh {
-		pkt.FCS = netdev.FrameCheck(pkt.Data)
+		pkt.FCS = netdev.FrameCheck(data)
 	}
 }
 
 // holdThenRedeliver re-introduces pkt after frac of the schedule's hold
-// interval.
-func (p *Plane) holdThenRedeliver(pkt *netdev.Packet, frac float64) {
+// interval; the held lease is consumed by Redeliver.
+func (p *Plane) holdThenRedeliver(pkt *netdev.PacketBuf, frac float64) {
 	us := p.Sched.Wire.HoldUs
 	if us <= 0 {
 		us = 50
@@ -152,7 +152,7 @@ func (p *Plane) holdThenRedeliver(pkt *netdev.Packet, frac float64) {
 }
 
 // deviceFault rolls the device-layer faults for one delivered frame.
-func (p *Plane) deviceFault(pkt *netdev.Packet) aegis.DeviceFault {
+func (p *Plane) deviceFault(pkt *netdev.PacketBuf) aegis.DeviceFault {
 	d := p.Sched.Device
 	var df aegis.DeviceFault
 	switch {
@@ -165,7 +165,7 @@ func (p *Plane) deviceFault(pkt *netdev.Packet) aegis.DeviceFault {
 		p.Obs.Inc("fault/device_pool_drops")
 		df.DropPool = true
 	case p.rng.Prob(d.TruncateProb):
-		if n := len(pkt.Data); n > 1 {
+		if n := pkt.Len(); n > 1 {
 			p.C.DeviceTruncations++
 			p.Obs.Inc("fault/device_truncations")
 			df.TruncateTo = 1 + p.rng.Intn(n-1)
@@ -174,10 +174,11 @@ func (p *Plane) deviceFault(pkt *netdev.Packet) aegis.DeviceFault {
 	return df
 }
 
-// clonePacket deep-copies a frame so a held copy is independent of the
-// delivered original.
-func clonePacket(pkt *netdev.Packet) *netdev.Packet {
-	cp := *pkt
-	cp.Data = append([]byte(nil), pkt.Data...)
-	return &cp
+// clone leases an independent copy of a frame so a held duplicate or
+// reordered original survives past the delivered one, carrying the same
+// addressing and frame check.
+func (p *Plane) clone(pkt *netdev.PacketBuf) *netdev.PacketBuf {
+	cp := p.sw.LeaseData(pkt.Bytes())
+	cp.Src, cp.Dst, cp.VC, cp.FCS = pkt.Src, pkt.Dst, pkt.VC, pkt.FCS
+	return cp
 }

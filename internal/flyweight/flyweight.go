@@ -173,7 +173,7 @@ type op struct {
 	seq    uint32
 	frame  []byte
 	sentAt sim.Time
-	timer  *sim.Event
+	timer  sim.Timer
 	bo     *retry.State
 	incast bool
 }
@@ -319,7 +319,7 @@ func (ep *Endpoint) launch(o *op) bool {
 // expire handles a reply-wait window running out: retransmit the exact
 // bytes and back off, or — budget exhausted — abandon the operation.
 func (ep *Endpoint) expire(o *op) {
-	o.timer = nil
+	o.timer = sim.Timer{}
 	wait, ok := o.bo.Next()
 	if !ok {
 		ep.f.Failures++
@@ -350,10 +350,8 @@ func (ep *Endpoint) abandon(o *op) {
 // settle completes an operation: timer off, round trip observed (TCP
 // handshake and close steps are bookkeeping, not operations).
 func (ep *Endpoint) settle(o *op, observe bool) {
-	if o.timer != nil {
-		ep.f.cfg.Eng.Cancel(o.timer)
-		o.timer = nil
-	}
+	ep.f.cfg.Eng.Cancel(o.timer) // zero or stale timers cancel as no-ops
+	o.timer = sim.Timer{}
 	if observe {
 		h := ep.f.Hist
 		if o.incast {
@@ -363,31 +361,33 @@ func (ep *Endpoint) settle(o *op, observe bool) {
 	}
 }
 
-// transmit hands the switch its own copy of the frame (the switch owns
-// packet data until delivery, and op.frame must stay pristine for
-// verbatim retransmission).
+// transmit leases a pooled buffer and copies the frame in (LeaseData
+// copies, so op.frame stays pristine for verbatim retransmission).
 func (ep *Endpoint) transmit(frame []byte) {
-	data := append([]byte(nil), frame...)
-	if err := ep.port.Transmit(&netdev.Packet{Dst: ep.f.cfg.ServerLink, Data: data}); err != nil {
+	pkt := ep.f.cfg.Sw.LeaseData(frame)
+	pkt.Dst = ep.f.cfg.ServerLink
+	if err := ep.port.Transmit(pkt); err != nil {
 		panic(err)
 	}
 }
 
-// rx is the endpoint's receive path. The frame check mirrors the full
-// driver's: a corrupted frame is dropped for the retry machinery to
-// recover, never parsed.
-func (ep *Endpoint) rx(pkt *netdev.Packet) {
-	if pkt.FCS != netdev.FrameCheck(pkt.Data) {
+// rx is the endpoint's receive path. The frame buffer is borrowed for
+// the duration of the call; the frame check mirrors the full driver's:
+// a corrupted frame is dropped for the retry machinery to recover,
+// never parsed.
+func (ep *Endpoint) rx(pkt *netdev.PacketBuf) {
+	data := pkt.Bytes()
+	if pkt.FCS != netdev.FrameCheck(data) {
 		ep.f.BadFrames++
 		return
 	}
 	switch ep.f.cfg.Kind {
 	case UDPEcho:
-		ep.rxEcho(pkt.Data)
+		ep.rxEcho(data)
 	case TCPPingPong:
-		ep.rxTCP(pkt.Data)
+		ep.rxTCP(data)
 	case NFSRead:
-		ep.rxNFS(pkt.Data)
+		ep.rxNFS(data)
 	}
 }
 

@@ -49,6 +49,14 @@ func (w *testWorld) cfg(kind Kind, n int) Config {
 	}
 }
 
+// transmit leases a pooled buffer for data and sends it from the server
+// port.
+func (w *testWorld) transmit(dst int, data []byte) error {
+	pkt := w.sw.LeaseData(data)
+	pkt.Dst = dst
+	return w.srv.Transmit(pkt)
+}
+
 // reply wraps a UDP payload in server→client framing that must satisfy
 // the endpoint's dgram validation.
 func (w *testWorld) reply(dstLink int, dstIP ip.Addr, payload []byte) {
@@ -63,7 +71,7 @@ func (w *testWorld) reply(dstLink int, dstIP ip.Addr, payload []byte) {
 	b = binary.BigEndian.AppendUint16(b, uint16(8+len(payload)))
 	b = binary.BigEndian.AppendUint16(b, 0)
 	b = append(b, payload...)
-	if err := w.srv.Transmit(&netdev.Packet{Dst: dstLink, Data: b}); err != nil {
+	if err := w.transmit(dstLink, b); err != nil {
 		panic(err)
 	}
 }
@@ -125,11 +133,12 @@ func TestFleetAccessors(t *testing.T) {
 func TestUDPEchoCompletes(t *testing.T) {
 	w := newTestWorld()
 	f := NewFleet(w.cfg(UDPEcho, 4))
-	w.srv.SetReceiver(func(pkt *netdev.Packet) {
-		if pkt.FCS != netdev.FrameCheck(pkt.Data) {
+	w.srv.SetReceiver(func(pkt *netdev.PacketBuf) {
+		data := pkt.Bytes()
+		if pkt.FCS != netdev.FrameCheck(data) {
 			t.Fatal("server saw a damaged frame")
 		}
-		payload := pkt.Data[ether.HeaderLen+ip.HeaderLen+8:]
+		payload := data[ether.HeaderLen+ip.HeaderLen+8:]
 		w.reply(pkt.Src, ip.HostAddr(pkt.Src), append([]byte(nil), payload...))
 	})
 
@@ -171,7 +180,7 @@ func TestUDPEchoIgnoresForeignFrames(t *testing.T) {
 	w.eng.Schedule(1, func() {
 		w.reply(link, f.Addr(0), binary.BigEndian.AppendUint32(nil, 77)) // short (4 < 8)
 		garbage := make([]byte, 60)                                      // not IPv4 at all
-		_ = w.srv.Transmit(&netdev.Packet{Dst: link, Data: garbage})
+		_ = w.transmit(link, garbage)
 		stale := make([]byte, 16) // well-formed but unknown seq
 		binary.BigEndian.PutUint32(stale, 4242)
 		w.reply(link, f.Addr(0), stale)
@@ -201,8 +210,8 @@ func TestNFSReadStatuses(t *testing.T) {
 	w := newTestWorld()
 	c := w.cfg(NFSRead, 1)
 	f := NewFleet(c)
-	w.srv.SetReceiver(func(pkt *netdev.Packet) {
-		call := pkt.Data[ether.HeaderLen+ip.HeaderLen+8:]
+	w.srv.SetReceiver(func(pkt *netdev.PacketBuf) {
+		call := pkt.Bytes()[ether.HeaderLen+ip.HeaderLen+8:]
 		xid := binary.BigEndian.Uint32(call)
 		if proc := binary.BigEndian.Uint32(call[4:]); proc != nfs.ProcRead {
 			t.Fatalf("unexpected proc %d", proc)
@@ -253,13 +262,13 @@ func (s *flyTCPServer) send(dst int, h tcp.Header) {
 		Proto: ip.ProtoTCP, Src: ip.HostAddr(s.w.srv.Addr()), Dst: ip.HostAddr(dst)}
 	b = ih.Marshal(b)
 	b = append(b, seg...)
-	if err := s.w.srv.Transmit(&netdev.Packet{Dst: dst, Data: b}); err != nil {
+	if err := s.w.transmit(dst, b); err != nil {
 		panic(err)
 	}
 }
 
-func (s *flyTCPServer) rx(pkt *netdev.Packet) {
-	seg := pkt.Data[ether.HeaderLen+ip.HeaderLen:]
+func (s *flyTCPServer) rx(pkt *netdev.PacketBuf) {
+	seg := pkt.Bytes()[ether.HeaderLen+ip.HeaderLen:]
 	h, dataOff, err := tcp.Parse(seg)
 	if err != nil {
 		return
@@ -301,7 +310,7 @@ func (s *flyTCPServer) rx(pkt *netdev.Packet) {
 		b = ih.Marshal(b)
 		b = append(b, hdr...)
 		b = append(b, echoed...)
-		if err := s.w.srv.Transmit(&netdev.Packet{Dst: pkt.Src, Data: b}); err != nil {
+		if err := s.w.transmit(pkt.Src, b); err != nil {
 			panic(err)
 		}
 	}

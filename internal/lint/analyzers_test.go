@@ -12,6 +12,7 @@ func TestDeterminism(t *testing.T)     { linttest.Run(t, lint.Determinism, "dete
 func TestObsGuard(t *testing.T)        { linttest.Run(t, lint.ObsGuard, "obsguard") }
 func TestLockDiscipline(t *testing.T)  { linttest.Run(t, lint.LockDiscipline, "lockdiscipline") }
 func TestAllocDiscipline(t *testing.T) { linttest.Run(t, lint.AllocDiscipline, "allocdiscipline") }
+func TestBufDiscipline(t *testing.T)   { linttest.Run(t, lint.BufDiscipline, "bufdiscipline") }
 
 // TestIgnoreDirectives pins the suppression contract: a reasoned
 // //lint:ignore directive silences its finding, while a reasonless one
@@ -65,6 +66,14 @@ func TestScopes(t *testing.T) {
 		{lint.AllocDiscipline, "ashs/cmd/ashbench", true},
 		{lint.AllocDiscipline, "ashs/internal/bench", false},
 		{lint.AllocDiscipline, "ashs/examples/remoteincrement", false},
+		{lint.BufDiscipline, "ashs/internal/netdev", true},
+		{lint.BufDiscipline, "ashs/internal/aegis", true},
+		{lint.BufDiscipline, "ashs/internal/flyweight", true},
+		{lint.BufDiscipline, "ashs/internal/fault", true},
+		{lint.BufDiscipline, "ashs/internal/proto/tcp", true},
+		{lint.BufDiscipline, "ashs/internal/bench", true},
+		{lint.BufDiscipline, "ashs/internal/sim", false},
+		{lint.BufDiscipline, "ashs/cmd/ashbench", false},
 	}
 	for _, c := range cases {
 		if got := c.a.Scope(c.path); got != c.want {

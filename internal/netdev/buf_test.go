@@ -1,0 +1,154 @@
+package netdev
+
+import (
+	"sync"
+	"testing"
+
+	"ashs/internal/mach"
+	"ashs/internal/sim"
+)
+
+func TestBufPoolLeaseReleaseRecycles(t *testing.T) {
+	p := NewBufPool(64)
+	a := p.Lease()
+	if p.InUse() != 1 || a.Refs() != 1 {
+		t.Fatalf("after lease: inUse=%d refs=%d", p.InUse(), a.Refs())
+	}
+	a.SetData([]byte{1, 2, 3})
+	a.Src, a.Dst, a.VC, a.FCS = 4, 5, 6, 7
+	a.Release()
+	if p.InUse() != 0 {
+		t.Fatalf("after release: inUse=%d", p.InUse())
+	}
+	b := p.Lease()
+	if b != a {
+		t.Fatal("pool did not recycle the released buffer")
+	}
+	if b.Len() != 0 || b.Src != 0 || b.Dst != 0 || b.VC != 0 || b.FCS != 0 {
+		t.Fatalf("recycled buffer not scrubbed: len=%d src=%d dst=%d vc=%d fcs=%d",
+			b.Len(), b.Src, b.Dst, b.VC, b.FCS)
+	}
+	if p.Grown != 1 || p.Leases != 2 || p.Releases != 1 {
+		t.Fatalf("accounting: grown=%d leases=%d releases=%d", p.Grown, p.Leases, p.Releases)
+	}
+}
+
+func TestBufDoubleReleasePanics(t *testing.T) {
+	p := NewBufPool(16)
+	b := p.Lease()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestBufRetainAfterReleasePanics(t *testing.T) {
+	p := NewBufPool(16)
+	b := p.Lease()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain of a free buffer did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestBufRefcountHandoff(t *testing.T) {
+	p := NewBufPool(16)
+	b := p.Lease()
+	b.Retain() // second owner
+	b.Release()
+	if p.InUse() != 1 {
+		t.Fatal("buffer freed while a reference remained")
+	}
+	b.Release()
+	if p.InUse() != 0 {
+		t.Fatalf("inUse=%d after final release", p.InUse())
+	}
+}
+
+func TestBufGrowOversize(t *testing.T) {
+	p := NewBufPool(8)
+	b := p.Lease()
+	big := make([]byte, 32)
+	big[31] = 9
+	b.SetData(big)
+	if b.Len() != 32 || b.Bytes()[31] != 9 {
+		t.Fatalf("oversize SetData: len=%d", b.Len())
+	}
+	b.Release()
+}
+
+// TestReceiverRetainsAcrossDelivery pins the handoff rule: a receiver
+// that Retains the frame owns it after the switch's own reference is
+// released, and the pool does not recycle it until the receiver lets go.
+func TestReceiverRetainsAcrossDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, mach.DS5000_240(), AN2Config())
+	a, b := sw.NewPort(), sw.NewPort()
+	var held *PacketBuf
+	b.SetReceiver(func(pkt *PacketBuf) {
+		pkt.Retain()
+		held = pkt
+	})
+	pkt := sw.LeaseData([]byte{42})
+	pkt.Dst = b.Addr()
+	if err := a.Transmit(pkt); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if held == nil || sw.Pool.InUse() != 1 {
+		t.Fatalf("retained buffer not held: inUse=%d", sw.Pool.InUse())
+	}
+	if held.Bytes()[0] != 42 {
+		t.Fatal("retained payload scrubbed while held")
+	}
+	// A concurrent lease must not hand out the held buffer.
+	other := sw.Lease()
+	if other == held {
+		t.Fatal("pool recycled a buffer that was still retained")
+	}
+	other.Release()
+	held.Release()
+	if sw.Pool.InUse() != 0 {
+		t.Fatalf("leak after final release: inUse=%d", sw.Pool.InUse())
+	}
+}
+
+// TestRefcountHandoffRace runs independent worlds on parallel goroutines,
+// each doing retain/release handoffs, so `go test -race` can prove the
+// lease discipline never shares a pool across engines.
+func TestRefcountHandoffRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := sim.NewEngine()
+			sw := NewSwitch(eng, mach.DS5000_240(), AN2Config())
+			a, b := sw.NewPort(), sw.NewPort()
+			var held []*PacketBuf
+			b.SetReceiver(func(pkt *PacketBuf) {
+				pkt.Retain()
+				held = append(held, pkt)
+			})
+			for i := 0; i < 100; i++ {
+				pkt := sw.LeaseData([]byte{byte(i)})
+				pkt.Dst = b.Addr()
+				_ = a.Transmit(pkt)
+			}
+			eng.Run()
+			for _, pkt := range held {
+				pkt.Release()
+			}
+			if sw.Pool.InUse() != 0 {
+				panic("pool leak in race worker")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -9,6 +9,10 @@
 // achievable per-link payload bandwidth ~16.8 MB/s; the Ethernet's raw
 // round trip is backed out of Table I.
 //
+// Frames travel as leased PacketBufs drawn from the switch's BufPool (see
+// buf.go for the ownership rules); the steady-state wire path allocates
+// nothing.
+//
 // Device idiosyncrasies that the paper's DILP back-ends must cope with —
 // the AN2's DMA-anywhere receive with per-VC notification rings, the
 // Ethernet's bounded receive pools and its striping DMA engine (N bytes
@@ -25,22 +29,6 @@ import (
 	"ashs/internal/obs"
 	"ashs/internal/sim"
 )
-
-// Packet is a frame in flight. VC carries the ATM virtual-circuit
-// identifier on AN2 links (ignored on Ethernet).
-type Packet struct {
-	Src, Dst int // port addresses
-	VC       int
-	Data     []byte
-
-	// FCS is the frame check sequence computed by the transmitting board
-	// over Data. Transmit fills it in; receiving boards verify it and
-	// discard frames whose payload was damaged in flight. An injector that
-	// mutates Data without refreshing FCS models wire corruption the board
-	// catches; refreshing it models corruption that sneaks past the CRC
-	// and must be caught by the end-to-end checksums.
-	FCS uint32
-}
 
 // FrameCheck computes the frame check sequence the boards use.
 func FrameCheck(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
@@ -104,11 +92,17 @@ type Switch struct {
 	Prof *mach.Profile
 	Cfg  LinkConfig
 
+	// Pool recycles the PacketBufs frames travel in. Every buffer leased
+	// from it must come back: a drained simulation ends with
+	// Pool.InUse() == 0 (the buffer-lease leak invariant).
+	Pool *BufPool
+
 	ports []*Port
 
 	// Fault injection for tests: called per packet before delivery.
-	// Return false to drop. May mutate the packet (corruption tests).
-	Inject func(p *Packet) bool
+	// Return false to drop. May mutate the packet in place (corruption
+	// tests); the injector does not own the reference.
+	Inject func(p *PacketBuf) bool
 
 	// Obs is the wire's observability plane. nil (the default) disables
 	// tracing and metrics at zero cost; see internal/obs.
@@ -117,18 +111,36 @@ type Switch struct {
 	// Statistics. Redelivered counts frames an injector re-introduced
 	// (duplicates, held-back reorders) via Redeliver.
 	Sent, Delivered, Dropped, Redelivered uint64
+
+	// deliverFn is the one bound delivery callback every in-flight frame
+	// is scheduled through (ScheduleArgAt), so transmit builds no
+	// per-packet closure.
+	deliverFn func(any)
 }
 
 // NewSwitch builds a switch over engine eng with profile prof.
 func NewSwitch(eng *sim.Engine, prof *mach.Profile, cfg LinkConfig) *Switch {
-	return &Switch{Eng: eng, Prof: prof, Cfg: cfg}
+	s := &Switch{Eng: eng, Prof: prof, Cfg: cfg, Pool: NewBufPool(cfg.MaxFrame)}
+	s.deliverFn = s.deliverEvent
+	return s
+}
+
+// Lease takes an empty frame buffer from the switch's pool. The caller
+// owns it until it hands it to Transmit/Redeliver or Releases it.
+func (s *Switch) Lease() *PacketBuf { return s.Pool.Lease() }
+
+// LeaseData leases a buffer holding a copy of data.
+func (s *Switch) LeaseData(data []byte) *PacketBuf {
+	b := s.Pool.Lease()
+	b.SetData(data)
+	return b
 }
 
 // Port is one NIC attachment.
 type Port struct {
 	sw          *Switch
 	addr        int
-	rx          func(pkt *Packet)
+	rx          func(pkt *PacketBuf)
 	txBusyUntil sim.Time
 }
 
@@ -143,8 +155,9 @@ func (s *Switch) NewPort() *Port {
 func (p *Port) Addr() int { return p.addr }
 
 // SetReceiver installs the function invoked (in event context) when a
-// packet's DMA into this port completes.
-func (p *Port) SetReceiver(fn func(pkt *Packet)) { p.rx = fn }
+// packet's DMA into this port completes. The receiver borrows the buffer
+// for the duration of the call; it must Retain it to keep it longer.
+func (p *Port) SetReceiver(fn func(pkt *PacketBuf)) { p.rx = fn }
 
 // wireBytes is the on-the-wire size of a payload.
 func (s *Switch) wireBytes(n int) int {
@@ -180,35 +193,39 @@ func (s *Switch) Ports() []int {
 	return out
 }
 
-// Transmit queues pkt for transmission from this port. The data slice is
-// owned by the switch from this call until delivery (callers must not
-// reuse it; drivers copy from DMA-safe buffers). Delivery happens
-// FixedOneWay after serialization completes; back-to-back sends from one
-// port pipeline behind each other, so bulk trains run at link bandwidth.
+// Transmit queues pkt for transmission from this port, consuming the
+// caller's reference — on success and on error alike, the caller must
+// not touch pkt afterwards. Delivery happens FixedOneWay after
+// serialization completes; back-to-back sends from one port pipeline
+// behind each other, so bulk trains run at link bandwidth.
 // Dst == Broadcast delivers to every other port.
-func (p *Port) Transmit(pkt *Packet) error {
+func (p *Port) Transmit(pkt *PacketBuf) error {
 	s := p.sw
-	if len(pkt.Data) > s.Cfg.MaxFrame {
-		return fmt.Errorf("%s: frame of %d bytes exceeds max %d", s.Cfg.Name, len(pkt.Data), s.Cfg.MaxFrame)
+	if pkt.Len() > s.Cfg.MaxFrame {
+		n := pkt.Len()
+		pkt.Release()
+		return fmt.Errorf("%s: frame of %d bytes exceeds max %d", s.Cfg.Name, n, s.Cfg.MaxFrame)
 	}
 	if pkt.Dst != Broadcast && (pkt.Dst < 0 || pkt.Dst >= len(s.ports)) {
-		return fmt.Errorf("%s: no port %d", s.Cfg.Name, pkt.Dst)
+		dst := pkt.Dst
+		pkt.Release()
+		return fmt.Errorf("%s: no port %d", s.Cfg.Name, dst)
 	}
 	pkt.Src = p.addr
-	pkt.FCS = FrameCheck(pkt.Data)
+	pkt.FCS = FrameCheck(pkt.Bytes())
 	s.Sent++
 
 	start := s.Eng.Now()
 	if p.txBusyUntil > start {
 		start = p.txBusyUntil
 	}
-	doneSerializing := start + s.SerializeCycles(len(pkt.Data))
+	doneSerializing := start + s.SerializeCycles(pkt.Len())
 	p.txBusyUntil = doneSerializing
 	deliverAt := doneSerializing + s.FixedCycles()
 
 	if o := s.Obs; o.Enabled() {
 		lane := "port " + strconv.Itoa(p.addr)
-		n := strconv.Itoa(len(pkt.Data))
+		n := strconv.Itoa(pkt.Len())
 		o.Span(s.Cfg.Name, lane, "wire", "serialize n="+n, start,
 			doneSerializing-start)
 		o.Span(s.Cfg.Name, lane, "wire", "flight n="+n, doneSerializing,
@@ -217,25 +234,33 @@ func (p *Port) Transmit(pkt *Packet) error {
 		o.Observe("net/serialize_cycles", doneSerializing-start)
 	}
 
-	s.Eng.ScheduleAt(deliverAt, func() {
-		if s.Inject != nil && !s.Inject(pkt) {
-			s.Dropped++
-			if o := s.Obs; o.Enabled() {
-				o.Instant(s.Cfg.Name, "port "+strconv.Itoa(p.addr), "fault",
-					"injected drop", s.Eng.Now())
-				o.Inc("net/frames_dropped_injected")
-			}
-			return
-		}
-		s.deliver(pkt)
-	})
+	s.Eng.ScheduleArgAt(deliverAt, s.deliverFn, pkt)
 	return nil
+}
+
+// deliverEvent is the wire's arrival callback: it runs the injector,
+// fans the frame out, and returns the in-flight reference to the pool.
+func (s *Switch) deliverEvent(a any) {
+	pkt := a.(*PacketBuf)
+	if s.Inject != nil && !s.Inject(pkt) {
+		s.Dropped++
+		if o := s.Obs; o.Enabled() {
+			o.Instant(s.Cfg.Name, "port "+strconv.Itoa(pkt.Src), "fault",
+				"injected drop", s.Eng.Now())
+			o.Inc("net/frames_dropped_injected")
+		}
+		pkt.Release()
+		return
+	}
+	s.deliver(pkt)
+	pkt.Release()
 }
 
 // deliver fans a packet out to its destination port(s) right now.
 // Unicast is O(1) in the port count: a million-endpoint switch must not
-// walk a million ports per packet.
-func (s *Switch) deliver(pkt *Packet) {
+// walk a million ports per packet. Receivers borrow the buffer for the
+// callback; the caller still owns its reference afterwards.
+func (s *Switch) deliver(pkt *PacketBuf) {
 	s.Delivered++
 	s.Obs.Inc("net/frames_delivered")
 	if pkt.Dst != Broadcast {
@@ -257,10 +282,10 @@ func (s *Switch) deliver(pkt *Packet) {
 }
 
 // Redeliver hands pkt to its destination port(s) immediately, bypassing
-// the injector. Fault injectors use it to re-introduce frames they held
-// back (reordering, delay jitter) or cloned (duplication) without the
-// injector seeing its own output again.
-func (s *Switch) Redeliver(pkt *Packet) {
+// the injector, consuming the caller's reference. Fault injectors use it
+// to re-introduce frames they held back (reordering, delay jitter) or
+// cloned (duplication) without the injector seeing its own output again.
+func (s *Switch) Redeliver(pkt *PacketBuf) {
 	s.Redelivered++
 	if o := s.Obs; o.Enabled() {
 		o.Instant(s.Cfg.Name, "port "+strconv.Itoa(pkt.Src), "fault",
@@ -268,4 +293,5 @@ func (s *Switch) Redeliver(pkt *Packet) {
 		o.Inc("net/frames_redelivered")
 	}
 	s.deliver(pkt)
+	pkt.Release()
 }

@@ -13,25 +13,35 @@ func newAN2(t *testing.T) (*sim.Engine, *Switch) {
 	return eng, NewSwitch(eng, mach.DS5000_240(), AN2Config())
 }
 
+// lease builds an owned frame ready for Transmit.
+func lease(s *Switch, dst, vc int, data []byte) *PacketBuf {
+	b := s.LeaseData(data)
+	b.Dst, b.VC = dst, vc
+	return b
+}
+
 func TestAN2HardwareRoundTrip(t *testing.T) {
 	// The calibration anchor: a 4-byte hardware ping-pong costs ~96 us.
 	eng, sw := newAN2(t)
 	a, b := sw.NewPort(), sw.NewPort()
 
 	var done sim.Time
-	b.SetReceiver(func(pkt *Packet) {
-		if err := b.Transmit(&Packet{Dst: a.Addr(), Data: pkt.Data}); err != nil {
+	b.SetReceiver(func(pkt *PacketBuf) {
+		if err := b.Transmit(lease(sw, a.Addr(), 0, pkt.Bytes())); err != nil {
 			t.Error(err)
 		}
 	})
-	a.SetReceiver(func(pkt *Packet) { done = eng.Now() })
-	if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, 4)}); err != nil {
+	a.SetReceiver(func(pkt *PacketBuf) { done = eng.Now() })
+	if err := a.Transmit(lease(sw, b.Addr(), 0, make([]byte, 4))); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
 	us := sw.Prof.Us(done)
 	if us < 90 || us > 102 {
 		t.Fatalf("AN2 hw round trip = %.1f us, want ~96 (paper Section IV-C)", us)
+	}
+	if sw.Pool.InUse() != 0 {
+		t.Fatalf("pool leak: %d buffers in use after drain", sw.Pool.InUse())
 	}
 }
 
@@ -43,13 +53,13 @@ func TestAN2TrainApproachesLinkBandwidth(t *testing.T) {
 	const pkts, size = 64, 4096
 	var lastArrival sim.Time
 	got := 0
-	b.SetReceiver(func(pkt *Packet) { got++; lastArrival = eng.Now() })
+	b.SetReceiver(func(pkt *PacketBuf) { got++; lastArrival = eng.Now() })
 	var firstDeparture sim.Time = -1
 	for i := 0; i < pkts; i++ {
 		if firstDeparture < 0 {
 			firstDeparture = eng.Now()
 		}
-		if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, size)}); err != nil {
+		if err := a.Transmit(lease(sw, b.Addr(), 0, make([]byte, size))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,8 +78,8 @@ func TestEthernetSlowerAndMinFrame(t *testing.T) {
 	sw := NewSwitch(eng, mach.DS5000_240(), EthernetConfig())
 	a, b := sw.NewPort(), sw.NewPort()
 	var at sim.Time
-	b.SetReceiver(func(pkt *Packet) { at = eng.Now() })
-	if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, 4)}); err != nil {
+	b.SetReceiver(func(pkt *PacketBuf) { at = eng.Now() })
+	if err := a.Transmit(lease(sw, b.Addr(), 0, make([]byte, 4))); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -85,8 +95,11 @@ func TestOversizeFrameRejected(t *testing.T) {
 	eng := sim.NewEngine()
 	sw := NewSwitch(eng, mach.DS5000_240(), EthernetConfig())
 	a, b := sw.NewPort(), sw.NewPort()
-	if err := a.Transmit(&Packet{Dst: b.Addr(), Data: make([]byte, 4000)}); err == nil {
+	if err := a.Transmit(lease(sw, b.Addr(), 0, make([]byte, 4000))); err == nil {
 		t.Fatal("oversize Ethernet frame accepted")
+	}
+	if sw.Pool.InUse() != 0 {
+		t.Fatal("Transmit error path leaked the lease")
 	}
 	_ = eng
 }
@@ -95,8 +108,11 @@ func TestBadDestinationRejected(t *testing.T) {
 	eng, sw := newAN2(t)
 	a := sw.NewPort()
 	_ = eng
-	if err := a.Transmit(&Packet{Dst: 7, Data: []byte{1}}); err == nil {
+	if err := a.Transmit(lease(sw, 7, 0, []byte{1})); err == nil {
 		t.Fatal("transmit to nonexistent port accepted")
+	}
+	if sw.Pool.InUse() != 0 {
+		t.Fatal("Transmit error path leaked the lease")
 	}
 }
 
@@ -104,20 +120,23 @@ func TestInjectDrop(t *testing.T) {
 	eng, sw := newAN2(t)
 	a, b := sw.NewPort(), sw.NewPort()
 	drops := 0
-	sw.Inject = func(p *Packet) bool {
+	sw.Inject = func(p *PacketBuf) bool {
 		drops++
 		return drops > 1 // drop the first packet only
 	}
-	var got [][]byte
-	b.SetReceiver(func(pkt *Packet) { got = append(got, pkt.Data) })
-	_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{1}})
-	_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{2}})
+	var got []byte
+	b.SetReceiver(func(pkt *PacketBuf) { got = append(got, pkt.Bytes()[0]) })
+	_ = a.Transmit(lease(sw, b.Addr(), 0, []byte{1}))
+	_ = a.Transmit(lease(sw, b.Addr(), 0, []byte{2}))
 	eng.Run()
-	if len(got) != 1 || got[0][0] != 2 {
+	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("delivered %v, want only packet 2", got)
 	}
 	if sw.Dropped != 1 || sw.Delivered != 1 {
 		t.Fatalf("stats: dropped=%d delivered=%d", sw.Dropped, sw.Delivered)
+	}
+	if sw.Pool.InUse() != 0 {
+		t.Fatalf("pool leak after injected drop: %d in use", sw.Pool.InUse())
 	}
 }
 
@@ -125,8 +144,8 @@ func TestVCCarried(t *testing.T) {
 	eng, sw := newAN2(t)
 	a, b := sw.NewPort(), sw.NewPort()
 	var vc int
-	b.SetReceiver(func(pkt *Packet) { vc = pkt.VC })
-	_ = a.Transmit(&Packet{Dst: b.Addr(), VC: 42, Data: []byte{0}})
+	b.SetReceiver(func(pkt *PacketBuf) { vc = pkt.VC })
+	_ = a.Transmit(lease(sw, b.Addr(), 42, []byte{0}))
 	eng.Run()
 	if vc != 42 {
 		t.Fatalf("VC = %d, want 42", vc)
@@ -137,8 +156,8 @@ func TestSrcFilledIn(t *testing.T) {
 	eng, sw := newAN2(t)
 	a, b := sw.NewPort(), sw.NewPort()
 	src := -1
-	b.SetReceiver(func(pkt *Packet) { src = pkt.Src })
-	_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{0}})
+	b.SetReceiver(func(pkt *PacketBuf) { src = pkt.Src })
+	_ = a.Transmit(lease(sw, b.Addr(), 0, []byte{0}))
 	eng.Run()
 	if src != a.Addr() {
 		t.Fatalf("Src = %d, want %d", src, a.Addr())
@@ -149,14 +168,47 @@ func TestOrderingPreserved(t *testing.T) {
 	eng, sw := newAN2(t)
 	a, b := sw.NewPort(), sw.NewPort()
 	var order []byte
-	b.SetReceiver(func(pkt *Packet) { order = append(order, pkt.Data[0]) })
+	b.SetReceiver(func(pkt *PacketBuf) { order = append(order, pkt.Bytes()[0]) })
 	for i := 0; i < 10; i++ {
-		_ = a.Transmit(&Packet{Dst: b.Addr(), Data: []byte{byte(i)}})
+		_ = a.Transmit(lease(sw, b.Addr(), 0, []byte{byte(i)}))
 	}
 	eng.Run()
 	for i := range order {
 		if order[i] != byte(i) {
 			t.Fatalf("out of order delivery: %v", order)
 		}
+	}
+}
+
+func TestSteadyStateWireZeroAlloc(t *testing.T) {
+	// The tentpole claim at the wire layer: a warmed-up ping-pong loop
+	// allocates nothing per round trip.
+	eng, sw := newAN2(t)
+	a, b := sw.NewPort(), sw.NewPort()
+	payload := []byte{1, 2, 3, 4}
+	b.SetReceiver(func(pkt *PacketBuf) {
+		rep := sw.LeaseData(pkt.Bytes())
+		rep.Dst = a.Addr()
+		_ = b.Transmit(rep)
+	})
+	rounds := 0
+	a.SetReceiver(func(pkt *PacketBuf) {
+		rounds++
+		req := sw.LeaseData(pkt.Bytes())
+		req.Dst = b.Addr()
+		_ = a.Transmit(req)
+	})
+	first := sw.LeaseData(payload)
+	first.Dst = b.Addr()
+	_ = a.Transmit(first)
+	eng.RunFor(sw.Prof.Cycles(10_000)) // warm pools and calendar
+	allocs := testing.AllocsPerRun(50, func() {
+		eng.RunFor(sw.Prof.Cycles(1000))
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state wire path allocates %.1f/op, want 0", allocs)
+	}
+	if rounds < 10 {
+		t.Fatalf("ping-pong made no progress: %d rounds", rounds)
 	}
 }

@@ -166,7 +166,7 @@ func TestRetransmissionWithLoss(t *testing.T) {
 	a1, a2 := aegis.NewAN2(k1, sw), aegis.NewAN2(k2, sw)
 	ip1, ip2 := ip.HostAddr(a1.Addr()), ip.HostAddr(a2.Addr())
 	drops := 0
-	sw.Inject = func(pkt *netdev.Packet) bool {
+	sw.Inject = func(pkt *netdev.PacketBuf) bool {
 		// Reply packets travel from server (port 1) to client (port 0).
 		if pkt.Src == a2.Addr() && drops == 0 {
 			drops++

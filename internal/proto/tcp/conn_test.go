@@ -204,7 +204,7 @@ func TestLossRecovery(t *testing.T) {
 	var dropped int
 	cli, srv := transferTest(t, ModeUser, 60_000, 6, func(w *world) {
 		rng := rand.New(rand.NewSource(99))
-		w.sw.Inject = func(pkt *netdev.Packet) bool {
+		w.sw.Inject = func(pkt *netdev.PacketBuf) bool {
 			// Drop 3% of packets (but never the first few, so the
 			// handshake converges quickly).
 			if w.sw.Delivered > 4 && rng.Float64() < 0.03 {
@@ -225,13 +225,14 @@ func TestLossRecovery(t *testing.T) {
 func TestCorruptionDetectedByChecksum(t *testing.T) {
 	corrupted := 0
 	cli, srv := transferTest(t, ModeUser, 30_000, 7, func(w *world) {
-		w.sw.Inject = func(pkt *netdev.Packet) bool {
+		w.sw.Inject = func(pkt *netdev.PacketBuf) bool {
 			// Flip a payload byte in one large data segment, refreshing
 			// the FCS so the damage sneaks past the board's frame check
 			// and only the end-to-end checksum can catch it.
-			if corrupted == 0 && len(pkt.Data) > 2000 {
-				pkt.Data[1500] ^= 0xff
-				pkt.FCS = netdev.FrameCheck(pkt.Data)
+			if corrupted == 0 && pkt.Len() > 2000 {
+				data := pkt.Bytes()
+				data[1500] ^= 0xff
+				pkt.FCS = netdev.FrameCheck(data)
 				corrupted++
 			}
 			return true
@@ -251,10 +252,11 @@ func TestCorruptionDetectedByChecksum(t *testing.T) {
 func TestCorruptionDetectedByASHFastPath(t *testing.T) {
 	corrupted := 0
 	_, srv := transferTest(t, ModeASH, 30_000, 8, func(w *world) {
-		w.sw.Inject = func(pkt *netdev.Packet) bool {
-			if corrupted == 0 && len(pkt.Data) > 2000 {
-				pkt.Data[1500] ^= 0xff
-				pkt.FCS = netdev.FrameCheck(pkt.Data) // sneak past the board CRC
+		w.sw.Inject = func(pkt *netdev.PacketBuf) bool {
+			if corrupted == 0 && pkt.Len() > 2000 {
+				data := pkt.Bytes()
+				data[1500] ^= 0xff
+				pkt.FCS = netdev.FrameCheck(data) // sneak past the board CRC
 				corrupted++
 			}
 			return true

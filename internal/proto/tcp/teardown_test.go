@@ -18,8 +18,8 @@ func TestMaxRetransmitTearsDownConnection(t *testing.T) {
 	// segments (SYN, ACK, FIN; ~60 bytes with headers) still pass, so the
 	// connection establishes and then the client's data drowns.
 	dropped := 0
-	w.sw.Inject = func(pkt *netdev.Packet) bool {
-		if len(pkt.Data) > 200 {
+	w.sw.Inject = func(pkt *netdev.PacketBuf) bool {
+		if pkt.Len() > 200 {
 			dropped++
 			return false
 		}

@@ -132,10 +132,11 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 	w := newWorld()
 	// Corrupt one payload byte in flight.
 	flipped := false
-	swInject := func(pkt *netdev.Packet) bool {
-		if !flipped && len(pkt.Data) > 30 {
-			pkt.Data[len(pkt.Data)-1] ^= 0xff
-			pkt.FCS = netdev.FrameCheck(pkt.Data) // sneak past the board CRC
+	swInject := func(pkt *netdev.PacketBuf) bool {
+		if !flipped && pkt.Len() > 30 {
+			data := pkt.Bytes()
+			data[len(data)-1] ^= 0xff
+			pkt.FCS = netdev.FrameCheck(data) // sneak past the board CRC
 			flipped = true
 		}
 		return true

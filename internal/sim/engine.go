@@ -17,10 +17,17 @@
 // Determinism: events at equal virtual times fire in scheduling order
 // (FIFO by sequence number). Processes only advance when the engine resumes
 // them, and the engine only advances when the running process parks.
+//
+// The engine runs against a pluggable EventQueue (a calendar queue by
+// default; see CalendarQueue) and recycles Events through a freelist, so
+// steady-state scheduling performs zero heap allocations. Because fired
+// events are reused, Schedule/ScheduleAt hand back a Timer — a
+// generation-checked handle — rather than the *Event itself; cancelling a
+// Timer whose event already fired (and possibly now carries an unrelated
+// callback) is a safe no-op.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -28,44 +35,12 @@ import (
 // simulated machine. The zero Time is the beginning of the simulation.
 type Time int64
 
-// Event is a scheduled callback. It may be cancelled before it fires.
-type Event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once fired or cancelled
-}
-
-// At reports the virtual time at which the event is (or was) scheduled.
-func (ev *Event) At() Time { return ev.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// Timer is a cancellable handle on a scheduled event. The zero Timer is
+// inert: cancelling it does nothing. Timers are plain values — copy them
+// freely, compare against Timer{} to test for "never armed".
+type Timer struct {
+	ev  *Event
+	gen uint64
 }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use
@@ -73,54 +48,115 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
-	procs   int // live (started, not yet finished) processes
-	parked  int // processes currently parked with no wakeup scheduled
+	q       EventQueue
+	free    *Event // recycled events, chained through next
+	procs   int    // live (started, not yet finished) processes
+	parked  int    // processes currently parked with no wakeup scheduled
 	current *Proc
 	panicV  any // propagated panic from a process
 	stopped bool
 }
 
-// NewEngine returns an empty engine at virtual time zero.
+// NewEngine returns an empty engine at virtual time zero, scheduling
+// against a calendar queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{q: NewCalendarQueue()}
+}
+
+// NewEngineWithQueue returns an empty engine scheduling against q. Tests
+// use it to run the same workload over different queue implementations;
+// everything else wants NewEngine.
+func NewEngineWithQueue(q EventQueue) *Engine {
+	return &Engine{q: q}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// ScheduleAt registers fn to run at virtual time t, which must not be in
-// the past. It returns the event so the caller may cancel it.
-func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event in the past (%d < %d)", t, e.now))
+// alloc takes an event from the freelist (or mints one) and stamps it.
+func (e *Engine) alloc(t Time) *Event {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &Event{}
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev.at = t
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
 	return ev
 }
 
+// recycle retires a fired or cancelled event to the freelist. The
+// generation bump invalidates every Timer still pointing at it.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.next = e.free
+	e.free = ev
+}
+
+func (e *Engine) checkAt(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%d < %d)", t, e.now))
+	}
+}
+
+// ScheduleAt registers fn to run at virtual time t, which must not be in
+// the past. It returns a Timer so the caller may cancel it.
+func (e *Engine) ScheduleAt(t Time, fn func()) Timer {
+	e.checkAt(t)
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.q.Insert(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// ScheduleArgAt is ScheduleAt for a callback taking one argument. Hot
+// paths use it with a long-lived bound function so that scheduling a
+// per-packet continuation does not build a per-packet closure.
+func (e *Engine) ScheduleArgAt(t Time, fn func(any), arg any) Timer {
+	e.checkAt(t)
+	ev := e.alloc(t)
+	ev.afn = fn
+	ev.arg = arg
+	e.q.Insert(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
 // Schedule registers fn to run after virtual duration d (d >= 0).
-func (e *Engine) Schedule(d Time, fn func()) *Event {
+func (e *Engine) Schedule(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	return e.ScheduleAt(e.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// ScheduleArg is Schedule for an argument-carrying callback.
+func (e *Engine) ScheduleArg(d Time, fn func(any), arg any) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.ScheduleArgAt(e.now+d, fn, arg)
+}
+
+// Cancel removes a pending event. Cancelling the zero Timer, or a Timer
+// whose event already fired or was already cancelled, is a no-op — even
+// if the underlying Event has since been recycled for another callback.
+func (e *Engine) Cancel(t Timer) {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen {
 		return
 	}
-	heap.Remove(&e.events, ev.index)
-	ev.index = -1
+	e.q.Remove(ev)
+	e.recycle(ev)
 }
 
 // Pending reports the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.Len() }
 
 // Stop makes the innermost Run/RunUntil return after the currently
 // executing event completes. Called outside any run, the stop is
@@ -132,15 +168,24 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // step fires the next event. It reports false when the queue is empty.
 func (e *Engine) step() bool {
-	if len(e.events) == 0 {
+	ev := e.q.PopMin()
+	if ev == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*Event)
 	if ev.at < e.now {
 		panic("sim: time went backwards")
 	}
 	e.now = ev.at
-	ev.fn()
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	// Recycle before firing: a self-rescheduling callback immediately
+	// reuses this Event, keeping the steady-state freelist depth at the
+	// schedule's natural concurrency.
+	e.recycle(ev)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	if e.panicV != nil {
 		v := e.panicV
 		e.panicV = nil
@@ -166,7 +211,11 @@ func (e *Engine) Run() {
 // would strand still-pending events in the past, making the next Run panic
 // with "time went backwards". The stop is consumed either way.
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+	for !e.stopped {
+		ev := e.q.PeekMin()
+		if ev == nil || ev.at > t {
+			break
+		}
 		e.step()
 	}
 	stopped := e.stopped

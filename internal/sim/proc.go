@@ -19,7 +19,6 @@ type Proc struct {
 	yield  chan struct{}
 	dead   bool
 	parked bool // parked with no scheduled wakeup
-	wakeEv *Event
 }
 
 // Go creates a process executing fn and schedules it to start now.
