@@ -98,3 +98,23 @@ func TestFindExperimentsValidatesNames(t *testing.T) {
 		t.Fatalf("'all' selected %d of %d", len(all), len(Experiments()))
 	}
 }
+
+// TestReoptParallelByteIdentical pins the DCG-loop experiment across
+// parallelism levels: five cells that each build testbeds, re-optimize
+// handlers, and sweep the differential harness must render the same
+// table and export the same trace at -parallel=4 as serially.
+func TestReoptParallelByteIdentical(t *testing.T) {
+	serialOut, serialTrace := runSuite(t, 1, []string{"reopt"})
+	parOut, parTrace := runSuite(t, 4, []string{"reopt"})
+	if len(serialOut) != 1 || len(parOut) != 1 {
+		t.Fatalf("output counts: %d vs %d", len(serialOut), len(parOut))
+	}
+	if serialOut[0].Text != parOut[0].Text {
+		t.Errorf("reopt: parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serialOut[0].Text, parOut[0].Text)
+	}
+	if !bytes.Equal(serialTrace, parTrace) {
+		t.Errorf("reopt trace JSON differs between serial (%d bytes) and parallel (%d bytes)",
+			len(serialTrace), len(parTrace))
+	}
+}

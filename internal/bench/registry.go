@@ -177,6 +177,14 @@ var experiments = []*Experiment{
 			return renderMegascale(cfg, vs)
 		},
 	},
+	{
+		Name:  "reopt",
+		Help:  "DCG loop: profile-guided re-optimization, before/after",
+		Cells: func(cfg *Config) []Cell { return reoptCells() },
+		Render: func(cfg *Config, vs []any) string {
+			return renderReopt(vs)
+		},
+	},
 }
 
 // Workload sizing shared between the registry and the Run* entry points.

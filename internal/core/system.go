@@ -126,6 +126,11 @@ type Options struct {
 	// download (check elision, loop hoisting, budget coarsening); the
 	// system policy's other knobs are kept.
 	OptimizeSFI bool
+	// Profile attaches a per-instruction execution counter to the handler
+	// so its runs accumulate the profile the DCG loop feeds back into
+	// re-optimization (System.Reoptimize). Costs one counter bump per
+	// executed instruction, so it stays off on measurement hot paths.
+	Profile bool
 }
 
 // ASH is an installed handler.
@@ -214,6 +219,9 @@ func (s *System) Download(owner *aegis.Process, prog *vcode.Program, opts Option
 		a.sandbox.Attach(a.machine, 0, ^uint32(0), opts.Budget)
 		// Real addressing enforcement is the owner's address space (the
 		// machine's Memory); the SFI instructions charge the check costs.
+	}
+	if opts.Profile {
+		a.machine.PCCounts = make([]uint64, len(a.code.Insns))
 	}
 	s.nextID++
 	s.ashes[a.ID] = a

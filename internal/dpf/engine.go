@@ -28,6 +28,11 @@ type Engine struct {
 	// (and sorting) a fresh id slice per packet.
 	ordered []FilterID
 	nextID  FilterID
+
+	// reordered is set by Reorder and cleared by Insert/Remove: the
+	// per-branch maxDepth bounds it computed are only trusted while the
+	// trie shape is unchanged, so demux-time pruning is gated on it.
+	reordered bool
 }
 
 // node is one trie level. Each branch discriminates on a (offset, size,
@@ -41,6 +46,13 @@ type node struct {
 type branch struct {
 	k    key
 	kids map[uint32]*node
+
+	// hits counts packets that descended this branch; Reorder sorts each
+	// node's branch list by it so generated code tests hot fields first.
+	hits uint64
+	// maxDepth is the deepest terminal below this branch, relative to the
+	// owning node (valid only while Engine.reordered holds).
+	maxDepth int
 }
 
 // NewEngine returns an empty demux engine.
@@ -117,6 +129,7 @@ func (e *Engine) Insert(f *Filter) (FilterID, error) {
 	n.hasTermnal = true
 	e.filters[id] = f
 	e.ordered = append(e.ordered, id) // ids are issued ascending
+	e.reordered = false               // trie shape changed: depth bounds stale
 	return id, nil
 }
 
@@ -162,6 +175,7 @@ func (e *Engine) Remove(id FilterID) error {
 			break
 		}
 	}
+	e.reordered = false // trie shape changed: depth bounds stale
 	return nil
 }
 
@@ -194,12 +208,23 @@ func (e *Engine) Demux(pkt []byte) (FilterID, sim.Time, bool) {
 			best, bestDepth, found = n.terminal, depth, true
 		}
 		for _, b := range n.branches {
+			// After Reorder, hot branches come first and each branch carries
+			// the deepest terminal reachable below it, so a branch whose
+			// entire subtree is strictly shallower than the best match so
+			// far cannot change the outcome (equal depth still ties toward
+			// the lowest id, so only *strictly* losing branches skip). The
+			// generated code pays one bound test instead of a full step.
+			if e.reordered && depth+b.maxDepth < bestDepth {
+				cycles += prunedStepCycles
+				continue
+			}
 			cycles += trieStepCycles
 			v, ok := field(pkt, b.k.off, b.k.size)
 			if !ok {
 				continue
 			}
 			if kid := b.kids[v&b.k.mask]; kid != nil {
+				b.hits++
 				walk(kid, depth+1)
 			}
 		}

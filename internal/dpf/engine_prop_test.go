@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"ashs/internal/sim"
 )
 
 // Ethernet+IP+UDP/TCP field offsets used by the real stacks (14-byte link
@@ -166,6 +168,110 @@ func checkAgainstOracle(t *testing.T, e *Engine, rng *rand.Rand, filters []*Filt
 		if okL != wantOK || okL && gotL != wantID {
 			t.Fatalf("round %d: linear demux = %v,%v oracle = %v,%v (pkt %x, %d filters)",
 				round, gotL, okL, wantID, wantOK, pkt, e.Len())
+		}
+	}
+}
+
+// scrambleHits overwrites every branch's hit counter with a random
+// value, in sorted-key order for reproducibility. Reorder must preserve
+// dispatch under ANY hit assignment — the counters are a cost hint, not
+// a correctness input.
+func scrambleHits(rng *rand.Rand, n *node) {
+	for _, b := range n.branches {
+		b.hits = rng.Uint64() % 1000
+		keys := make([]uint32, 0, len(b.kids))
+		for v := range b.kids {
+			keys = append(keys, v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, v := range keys {
+			scrambleHits(rng, b.kids[v])
+		}
+	}
+}
+
+// TestEnginePropertyReorder is the randomized contract for the DCG demux
+// pass: under random hit-frequency permutations, the post-Reorder trie
+// must dispatch exactly like the linear-scan oracle, at a modeled cost
+// no higher than the unordered walk; Insert and Remove must drop the
+// stale depth bounds (and dispatch correctly) until the next Reorder.
+func TestEnginePropertyReorder(t *testing.T) {
+	rounds := 300
+	if testing.Short() {
+		rounds = 50
+	}
+	rng := rand.New(rand.NewSource(0xbeefc0de))
+	for round := 0; round < rounds; round++ {
+		e := NewEngine()
+		var filters []*Filter
+		var ids []FilterID
+		for i := 0; i < 1+rng.Intn(12); i++ {
+			f := randomFilter(rng)
+			id, err := e.Insert(f)
+			if err != nil {
+				continue // duplicate draw: ambiguous by contract, skip
+			}
+			filters = append(filters, f)
+			ids = append(ids, id)
+		}
+		// Accumulate organic hits, then scramble them adversarially.
+		for i := 0; i < 5; i++ {
+			e.Demux(randomPacket(rng, filters))
+		}
+		scrambleHits(rng, e.root)
+
+		// The walk must never cost more after Reorder: pruned branches pay
+		// one bound test instead of a full trie step, examined branches pay
+		// the same, and the decision is identical either way.
+		batch := make([][]byte, 8)
+		for i := range batch {
+			batch[i] = randomPacket(rng, filters)
+		}
+		var before sim.Time
+		for _, pkt := range batch {
+			_, c, _ := e.Demux(pkt)
+			before += c
+		}
+		e.Reorder()
+		if !e.reordered {
+			t.Fatal("Reorder did not arm demux pruning")
+		}
+		var after sim.Time
+		for _, pkt := range batch {
+			_, c, _ := e.Demux(pkt)
+			after += c
+		}
+		if after > before {
+			t.Fatalf("round %d: reordered walk cost %v > unordered %v", round, after, before)
+		}
+		checkAgainstOracle(t, e, rng, filters, round)
+
+		// Trie churn invalidates the depth bounds: Insert and Remove must
+		// disarm pruning, and dispatch must stay oracle-exact throughout.
+		f := randomFilter(rng)
+		if id, err := e.Insert(f); err == nil {
+			filters = append(filters, f)
+			ids = append(ids, id)
+			if e.reordered {
+				t.Fatal("Insert left stale depth bounds armed")
+			}
+		}
+		checkAgainstOracle(t, e, rng, filters, round)
+		e.Reorder()
+		checkAgainstOracle(t, e, rng, filters, round)
+		if len(ids) > 0 {
+			k := rng.Intn(len(ids))
+			if err := e.Remove(ids[k]); err != nil {
+				t.Fatalf("round %d: remove: %v", round, err)
+			}
+			filters = append(filters[:k], filters[k+1:]...)
+			ids = append(ids[:k], ids[k+1:]...)
+			if e.reordered {
+				t.Fatal("Remove left stale depth bounds armed")
+			}
+			checkAgainstOracle(t, e, rng, filters, round)
+			e.Reorder()
+			checkAgainstOracle(t, e, rng, filters, round)
 		}
 	}
 }

@@ -1,0 +1,50 @@
+package dpf
+
+import (
+	"sort"
+
+	"ashs/internal/sim"
+)
+
+// prunedStepCycles models the generated code's depth-bound test on a
+// branch Demux skips after Reorder: one compare against the running best
+// depth instead of a full field load + dispatch (trieStepCycles).
+const prunedStepCycles = sim.Time(1)
+
+// Reorder is the DCG loop applied to demux: it sorts every node's branch
+// list by observed hit count (descending, ties keeping install order) and
+// annotates each branch with the deepest terminal reachable below it.
+// Demux then examines hot branches first, which establishes a deep best
+// match early and lets it skip sibling branches whose whole subtree is
+// strictly shallower — the match decision is provably unchanged (the
+// property test drives random hit permutations against the linear-scan
+// oracle), only the examination order and cost are.
+//
+// The depth bounds are valid only for the current trie shape; Insert and
+// Remove clear the reordered flag, so a re-Reorder after churn re-enables
+// pruning with fresh bounds. Hit counters keep accumulating either way.
+func (e *Engine) Reorder() {
+	annotate(e.root)
+	e.reordered = true
+}
+
+// annotate computes per-branch maxDepth bottom-up and sorts each branch
+// list by hits, returning the deepest terminal depth relative to n.
+func annotate(n *node) int {
+	deepest := 0 // n itself: a terminal here is at relative depth 0
+	for _, b := range n.branches {
+		b.maxDepth = 0
+		for _, kid := range b.kids {
+			if d := 1 + annotate(kid); d > b.maxDepth {
+				b.maxDepth = d
+			}
+		}
+		if b.maxDepth > deepest {
+			deepest = b.maxDepth
+		}
+	}
+	sort.SliceStable(n.branches, func(i, j int) bool {
+		return n.branches[i].hits > n.branches[j].hits
+	})
+	return deepest
+}

@@ -74,6 +74,15 @@ func policyFingerprint(pol *Policy) [sha256.Size]byte {
 		putU64(uint64(len(name)))
 		h.Write([]byte(name))
 	}
+	// The attached profile changes which transformations fire, so the same
+	// program re-instrumented under a different profile must miss.
+	if pol.Profile != nil {
+		putU64(1)
+		fp := pol.Profile.Fingerprint()
+		h.Write(fp[:])
+	} else {
+		putU64(0)
+	}
 	var out [sha256.Size]byte
 	h.Sum(out[:0])
 	return out

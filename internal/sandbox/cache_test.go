@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ashs/internal/vcode"
+	"ashs/internal/vcode/reopt"
 )
 
 // memProgram builds a small handler with loads and stores so the SFI
@@ -98,6 +99,95 @@ func TestCacheDistinguishesPolicies(t *testing.T) {
 		t.Fatalf("x86 build added %d instructions (MIPS added %d)",
 			spX86.AddedStatic, spNaive.AddedStatic)
 	}
+}
+
+func TestCacheDistinguishesProfiles(t *testing.T) {
+	ResetCache()
+	// A loop with a message-dependent divide: exactly the shape where an
+	// attached profile changes the emitted instrumentation.
+	p := crlShardShape(t)
+	base := DefaultPolicy()
+	base.Optimize = true
+
+	spStatic, err := Sandbox(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hot := make([]uint64, len(p.Insns))
+	for i := range hot {
+		hot[i] = reopt.HotTrips * 4
+	}
+	withHot := DefaultPolicy()
+	withHot.Optimize = true
+	withHot.Profile = &reopt.Profile{Handler: p.Name, Invocations: 4, Counts: hot}
+
+	spHot, err := Sandbox(p, withHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses := CacheStats()
+	if misses < 2 {
+		t.Fatalf("same program under a different profile hit the cache (misses=%d)", misses)
+	}
+	if reflect.DeepEqual(spStatic.Code.Insns, spHot.Code.Insns) {
+		t.Fatal("hot profile changed nothing — the keying test has lost its teeth")
+	}
+
+	// Same profile contents under a fresh policy pointer: must hit, and
+	// the clone must carry the caller's pointer, not the cached one.
+	again := DefaultPolicy()
+	again.Optimize = true
+	again.Profile = &reopt.Profile{Handler: p.Name, Invocations: 4,
+		Counts: append([]uint64(nil), hot...)}
+	hitsBefore, _ := CacheStats()
+	spAgain, err := Sandbox(p, again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter, _ := CacheStats()
+	if hitsAfter == hitsBefore {
+		t.Fatal("identical profile contents missed the cache")
+	}
+	if spAgain.Policy != again {
+		t.Fatal("cached build does not carry the caller's policy pointer")
+	}
+	if !reflect.DeepEqual(spAgain.Code.Insns, spHot.Code.Insns) {
+		t.Fatal("cache hit returned different code than the original build")
+	}
+
+	// Different counts, same length: different fingerprint, fresh build.
+	cold := make([]uint64, len(p.Insns))
+	withCold := DefaultPolicy()
+	withCold.Optimize = true
+	withCold.Profile = &reopt.Profile{Handler: p.Name, Invocations: 4, Counts: cold}
+	_, missesBefore := CacheStats()
+	if _, err := Sandbox(p, withCold); err != nil {
+		t.Fatal(err)
+	}
+	if _, missesNow := CacheStats(); missesNow == missesBefore {
+		t.Fatal("cold profile reused the hot profile's build")
+	}
+}
+
+// crlShardShape mirrors the shard-counter handler's loop: a
+// loop-invariant, message-carried divisor the static pass must check
+// every iteration but a hot profile lets the re-optimizer hoist.
+func crlShardShape(t *testing.T) *vcode.Program {
+	return assemble(t, func(b *vcode.Builder) {
+		mod, i, n, v := b.Temp(), b.Temp(), b.Temp(), b.Temp()
+		b.Ld32(mod, vcode.RArg0, 0)
+		b.MovI(i, 0)
+		b.MovI(n, 32)
+		top := b.NewLabel()
+		b.Bind(top)
+		b.Ld32X(v, vcode.RArg0, i)
+		b.RemU(v, v, mod)
+		b.AddIU(i, i, 4)
+		b.BltU(i, n, top)
+		b.MovI(vcode.RRet, 0)
+		b.Ret()
+	})
 }
 
 func TestVerifyCacheRemembersRejections(t *testing.T) {

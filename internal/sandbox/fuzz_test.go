@@ -5,7 +5,6 @@ import (
 	"testing"
 	"testing/quick"
 
-	"ashs/internal/mach"
 	"ashs/internal/vcode"
 )
 
@@ -18,6 +17,14 @@ import (
 // different kind: the hull check at a group anchor fires before the
 // per-member check it replaces). Neither variant may ever touch memory
 // outside the region, even with a budget too small to finish.
+//
+// Since the DCG loop landed the property is three-way: the profile-
+// reoptimized variant (built from a profile gathered by a naive pre-pass
+// over the same program) joins the equivalence class, with dynamic
+// instructions ordered reopt ≤ optimized ≤ naive. The oracle lives in
+// ThreeWay (difftest.go); this file generates the programs and seeds.
+// FuzzReoptProfile (fuzz_reopt_test.go) covers profiles no execution
+// produced.
 
 const (
 	fuzzBase = 0x1000
@@ -128,104 +135,31 @@ func genProgram(rng *rand.Rand) *vcode.Program {
 	return &vcode.Program{Name: "fuzz", Insns: insns, NextReg: 16}
 }
 
-type runResult struct {
-	fault *vcode.Fault
-	m     *vcode.Machine
-	mem   *vcode.FlatMem
-	guard *guardMem
-	insns int64
-}
-
-func runVariant(t *testing.T, p *vcode.Program, pol *Policy, budget int64) (*Program, runResult) {
-	t.Helper()
-	sp, err := Sandbox(p, pol)
-	if err != nil {
-		t.Fatalf("sandbox: %v\n%s", err, p)
-	}
-	// Memory much larger than the SFI region, wrapped in a guard, so any
-	// access that escapes the region is detected rather than masked.
-	flat := vcode.NewFlatMem(0, 0x20000)
-	for a := uint32(fuzzBase); a < fuzzBase+fuzzSize; a += 4 {
-		_ = flat.Store32(a, a*2654435761)
-	}
-	g := &guardMem{inner: flat, lo: fuzzBase, hi: fuzzBase + fuzzSize}
-	m := vcode.NewMachine(mach.DS5000_240(), g)
-	m.CycleLimit = 3_000_000 // backstop only; generated loops are bounded
-	sp.Attach(m, fuzzBase, fuzzBase+fuzzSize, budget)
-	f := m.Run(sp.Code)
-	return sp, runResult{fault: f, m: m, mem: flat, guard: g, insns: m.Insns}
-}
-
-// checkDifferential runs p under naive and optimized instrumentation and
-// enforces the equivalence oracle. Returns false (after t.Error) on any
-// divergence so quick.Check reports the failing seed.
+// checkDifferential runs p through the three-way oracle with a measured
+// profile, plus starved-budget confinement runs in software mode.
+// Returns false (after t.Error) on any divergence so quick.Check reports
+// the failing seed.
 func checkDifferential(t *testing.T, p *vcode.Program, budget BudgetMode) bool {
 	t.Helper()
-	naive := DefaultPolicy()
-	naive.Budget = budget
-	opt := DefaultPolicy()
-	opt.Budget = budget
-	opt.Optimize = true
-
-	const generous = 10_000_000
-	spN, rn := runVariant(t, p, naive, generous)
-	spO, ro := runVariant(t, p, opt, generous)
-
-	okRun := true
-	bad := func(format string, args ...any) {
-		t.Errorf(format, args...)
-		okRun = false
+	if _, err := ThreeWay(p, nil, DiffConfig{Budget: budget}); err != nil {
+		t.Error(err)
+		return false
 	}
-	if rn.guard.escaped {
-		bad("naive instrumentation let an access escape the region\n%s", spN.Code)
-	}
-	if ro.guard.escaped {
-		bad("optimized instrumentation let an access escape the region\n%s", spO.Code)
-	}
-	switch {
-	case rn.fault == nil && ro.fault != nil:
-		bad("naive clean but optimized faulted: %v\n%s", ro.fault, p)
-	case rn.fault != nil && ro.fault == nil:
-		bad("naive faulted (%v) but optimized ran clean\n%s", rn.fault, p)
-	case rn.fault == nil && ro.fault == nil:
-		// The dynamic-count guarantee holds on clean runs only: a group
-		// anchor front-loads its hull checks, so a run that faults mid-
-		// group may execute a couple more check instructions than naive.
-		if ro.insns > rn.insns {
-			bad("optimized ran %d insns, naive %d\n%s", ro.insns, rn.insns, p)
-		}
-		for r := 0; r < vcode.NumRegs; r++ {
-			if vcode.Reg(r) == vcode.RSbox {
-				continue // sandbox scratch legitimately differs
-			}
-			if rn.m.Regs[r] != ro.m.Regs[r] {
-				bad("r%d: naive=%#x optimized=%#x\n%s", r, rn.m.Regs[r], ro.m.Regs[r], p)
-			}
-		}
-		for a := uint32(fuzzBase); a < fuzzBase+fuzzSize; a += 4 {
-			vn, _ := rn.mem.Load32(a)
-			vo, _ := ro.mem.Load32(a)
-			if vn != vo {
-				bad("mem[%#x]: naive=%#x optimized=%#x\n%s", a, vn, vo, p)
-				break
-			}
-		}
-	}
-
-	// Starved-budget run (software mode): equivalence is not required —
+	// Starved-budget runs (software mode): equivalence is not required —
 	// the coarse drain faults earlier than per-iteration checks — but
 	// confinement is absolute.
 	if budget == BudgetSoftware {
-		_, rs := runVariant(t, p, opt, 25)
-		if rs.guard.escaped {
-			bad("optimized run escaped the region under a starved budget\n%s", spO.Code)
-		}
-		_, rs = runVariant(t, p, naive, 25)
-		if rs.guard.escaped {
-			bad("naive run escaped the region under a starved budget\n%s", spN.Code)
+		for _, b := range []int64{5, 25, 120} {
+			_, err := ThreeWay(p, nil, DiffConfig{
+				Budget: budget, InsnBudget: b, ConfinementOnly: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return false
+			}
 		}
 	}
-	return okRun
+	return true
 }
 
 func diffSeed(t *testing.T, seed int64) bool {

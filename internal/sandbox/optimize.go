@@ -23,6 +23,13 @@
 //     count drains trips x bodyLen from the software budget once in the
 //     preheader instead of bodyLen per iteration at the latch.
 //
+// With a Policy.Profile attached (the DCG loop, DESIGN.md §16), two more
+// transformations fire on measured-hot sites, each re-proven statically
+// here so the profile can only select them, never weaken them: divide
+// checks on loop-invariant divisors hoist to the preheader, and exactly
+// counted multi-block loops (reopt.TripBoundMultiBlock) coarsen like the
+// single-block case.
+//
 // Programs containing indirect jumps fall back to naive instrumentation:
 // jump-table entry points would invalidate the dataflow's edge set.
 package sandbox
@@ -32,12 +39,14 @@ import (
 
 	"ashs/internal/vcode"
 	"ashs/internal/vcode/analysis"
+	"ashs/internal/vcode/reopt"
 )
 
 type optStats struct {
-	elided    int // check sites present in naive output but not emitted
-	hoisted   int // check pairs emitted in loop preheaders
-	coarsened int // loops whose budget checks collapsed into one drain
+	elided     int // check sites present in naive output but not emitted
+	hoisted    int // check pairs emitted in loop preheaders
+	coarsened  int // loops whose budget checks collapsed into one drain
+	divHoisted int // divide sites whose zero check moved to a preheader
 }
 
 // memGroup is a cluster of direct memory ops in one basic block sharing a
@@ -55,6 +64,11 @@ type preheader struct {
 	loop    *analysis.Loop
 	hoisted []*memGroup
 	coarse  *coarsePlan
+
+	// hoistDivs lists loop-invariant divisor registers whose zero check
+	// runs once here instead of at every in-loop divide (profile-guided;
+	// see planPreheaders).
+	hoistDivs []vcode.Reg
 }
 
 type coarsePlan struct {
@@ -137,11 +151,17 @@ func stepCheck(s *analysis.CheckSet, in vcode.Insn, anchor *memGroup) {
 }
 
 // planPreheaders selects, per loop, the group anchors whose checks hoist
-// and the budget coarsening, returning plans keyed by header start pc.
+// and the budget coarsening, returning plans keyed by header start pc plus
+// the set of divide pcs whose zero check the preheader absorbs. The
+// profile decisions in dec only *nominate* sites; every soundness
+// condition is re-derived here from the static analyses, so a corrupt
+// profile cannot smuggle in an unsound transform.
 func planPreheaders(c *analysis.CFG, pol *Policy, anchorOf map[int]*memGroup,
-	dom *analysis.Dom, loops []analysis.Loop, rng *analysis.Ranges, st *optStats) map[int]*preheader {
+	dom *analysis.Dom, loops []analysis.Loop, rng *analysis.Ranges,
+	dec *reopt.Decisions, st *optStats) (map[int]*preheader, map[int]bool) {
 
 	plans := map[int]*preheader{}
+	hoistedDiv := map[int]bool{}
 	for li := range loops {
 		l := &loops[li]
 		header := &c.Blocks[l.Header]
@@ -204,6 +224,29 @@ func planPreheaders(c *analysis.CFG, pol *Policy, anchorOf map[int]*memGroup,
 				if g != nil && !defsInLoop.Has(g.reg) {
 					ph.hoisted = append(ph.hoisted, g)
 				}
+				// Profile-guided divide-check hoisting: a divide the profile
+				// marks hot, with a loop-invariant divisor, in a block that
+				// runs on every iteration, performs the same zero check with
+				// the same register value every time — one preheader check
+				// certifies them all. The same argument as memory-check
+				// hoisting: if the loop is entered cleanly under naive
+				// instrumentation the divisor was nonzero at the first
+				// divide, hence at the preheader too (no in-loop defs).
+				in := c.Prog.Insns[pc]
+				if (in.Op == vcode.OpDivU || in.Op == vcode.OpRemU) &&
+					dec != nil && dec.HotDivs[pc] &&
+					!pol.OptimisticExceptions &&
+					!defsInLoop.Has(in.Rt) &&
+					rng.Before(pc, in.Rt).Lo < 1 { // provably-nonzero sites elide statically
+					hoistedDiv[pc] = true
+					dup := false
+					for _, r := range ph.hoistDivs {
+						dup = dup || r == in.Rt
+					}
+					if !dup {
+						ph.hoistDivs = append(ph.hoistDivs, in.Rt)
+					}
+				}
 			}
 		}
 
@@ -216,14 +259,29 @@ func planPreheaders(c *analysis.CFG, pol *Policy, anchorOf map[int]*memGroup,
 					ph.coarse = &coarsePlan{trips: trips, headerPC: header.Start, latchPC: header.Last()}
 					st.coarsened++
 				}
+			} else if dec != nil && dec.HotLoops[header.Start] && len(l.Latches) == 1 {
+				// Profile-guided multi-block coarsening: the static pass
+				// only handles single-block loops; for measured-hot loops,
+				// reopt.TripBoundMultiBlock proves an exact count for the
+				// larger counted-loop shape (single backward latch, latch is
+				// the only exit, one increment dominating it). Exactness
+				// makes the one-shot drain equal the naive per-latch total.
+				if trips, tok := reopt.TripBoundMultiBlock(c, dom, l, rng); tok {
+					latch := &c.Blocks[l.Latches[0]]
+					span := int64(latch.Last() - header.Start + 1)
+					if trips*(4*span+8) <= math.MaxInt32 {
+						ph.coarse = &coarsePlan{trips: trips, headerPC: header.Start, latchPC: latch.Last()}
+						st.coarsened++
+					}
+				}
 			}
 		}
 
-		if len(ph.hoisted) > 0 || ph.coarse != nil {
+		if len(ph.hoisted) > 0 || len(ph.hoistDivs) > 0 || ph.coarse != nil {
 			plans[header.Start] = ph
 		}
 	}
-	return plans
+	return plans, hoistedDiv
 }
 
 // checkFacts runs the availability dataflow to its greatest fixpoint:
@@ -284,7 +342,11 @@ func instrumentOptimized(p *vcode.Program, pol *Policy) ([]vcode.Insn, []int, op
 	dom := c.Dominators()
 	loops := c.NaturalLoops(dom)
 	rng := c.Ranges()
-	plans := planPreheaders(c, pol, anchorOf, dom, loops, rng, &st)
+	var dec *reopt.Decisions
+	if pol.Profile != nil {
+		dec = reopt.Plan(p, pol.Profile)
+	}
+	plans, hoistedDiv := planPreheaders(c, pol, anchorOf, dom, loops, rng, dec, &st)
 	ins := checkFacts(c, anchorOf, plans)
 
 	out := make([]vcode.Insn, 0, len(p.Insns)*2+pol.PrologueLen+pol.EpilogueLen)
@@ -328,6 +390,9 @@ func instrumentOptimized(p *vcode.Program, pol *Policy) ([]vcode.Insn, []int, op
 					st.hoisted++
 				}
 			}
+			for _, r := range ph.hoistDivs {
+				emit(-1, vcode.Insn{Op: vcode.OpChkDiv, Rs: r})
+			}
 		}
 		state := ins[bi].Clone()
 		for pc := b.Start; pc < b.End; pc++ {
@@ -368,6 +433,9 @@ func instrumentOptimized(p *vcode.Program, pol *Policy) ([]vcode.Insn, []int, op
 					emit(pc, in)
 				case rng.Before(pc, in.Rt).Lo >= 1:
 					st.elided++ // divisor provably nonzero
+					emit(pc, in)
+				case hoistedDiv[pc]:
+					st.divHoisted++ // zero check runs once in the preheader
 					emit(pc, in)
 				default:
 					emit(pc, vcode.Insn{Op: vcode.OpChkDiv, Rs: in.Rt})

@@ -29,6 +29,7 @@ import (
 
 	"ashs/internal/vcode"
 	"ashs/internal/vcode/analysis"
+	"ashs/internal/vcode/reopt"
 )
 
 // Hardware selects the protection mechanism of the target machine.
@@ -78,6 +79,14 @@ type Policy struct {
 	// the paper's observation that exit code dominates added instructions.
 	PrologueLen int
 	EpilogueLen int
+
+	// Profile, when non-nil, feeds the optimizer observed execution counts
+	// (the paper's dynamic-code-generation loop). The profile only selects
+	// among statically proven transformations — hoisting a loop-invariant
+	// divide check, coarsening an exactly counted multi-block loop — so an
+	// adversarial profile can change cost, never semantics. The compile
+	// cache keys on the profile fingerprint alongside the policy.
+	Profile *reopt.Profile
 }
 
 // DefaultPolicy returns the policy used by the ASH system: MIPS software
@@ -222,6 +231,10 @@ type Program struct {
 	ChecksElided    int
 	ChecksHoisted   int
 	BudgetCoarsened int
+
+	// DivChecksHoisted counts divide sites whose zero check moved to a
+	// loop preheader under a profile (zero without Policy.Profile).
+	DivChecksHoisted int
 }
 
 // compile is the uncached implementation behind Sandbox. It goes through
@@ -257,14 +270,15 @@ func compile(p *vcode.Program, pol *Policy) (*Program, error) {
 		NextReg:    p.NextReg,
 	}
 	sp := &Program{
-		Orig:            p.Clone(),
-		Code:            code,
-		JmpTable:        oldToNew,
-		AddedStatic:     len(out) - len(p.Insns),
-		Policy:          pol,
-		ChecksElided:    st.elided,
-		ChecksHoisted:   st.hoisted,
-		BudgetCoarsened: st.coarsened,
+		Orig:             p.Clone(),
+		Code:             code,
+		JmpTable:         oldToNew,
+		AddedStatic:      len(out) - len(p.Insns),
+		Policy:           pol,
+		ChecksElided:     st.elided,
+		ChecksHoisted:    st.hoisted,
+		BudgetCoarsened:  st.coarsened,
+		DivChecksHoisted: st.divHoisted,
 	}
 	if err := checkEpilogues(sp); err != nil {
 		return nil, err

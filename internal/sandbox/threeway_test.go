@@ -1,0 +1,122 @@
+package sandbox_test
+
+// The registry sweep: every handler the crl package builds, under both
+// budget strategies, against the measured profile and a bank of
+// adversarial profiles. This is the acceptance gate for the DCG loop —
+// profile-guided re-optimization may only ever change cost, never
+// semantics, no matter what the profile claims.
+
+import (
+	"testing"
+
+	"ashs/internal/crl"
+	"ashs/internal/sandbox"
+	"ashs/internal/vcode"
+	"ashs/internal/vcode/reopt"
+)
+
+// adversarialProfiles builds the profile bank for a program: profiles
+// the optimizer must survive even though no execution produced them.
+func adversarialProfiles(p *vcode.Program) map[string]*reopt.Profile {
+	n := len(p.Insns)
+	zero := make([]uint64, n)
+	sat := make([]uint64, n)
+	for i := range sat {
+		sat[i] = ^uint64(0)
+	}
+	// Inconsistent with any run: wrong length, wild counts claiming cold
+	// code hot and branches taken more often than their blocks executed.
+	incons := make([]uint64, n+7)
+	for i := range incons {
+		incons[i] = uint64(i*2654435761) % 1e9
+	}
+	return map[string]*reopt.Profile{
+		"all-zero":     {Handler: p.Name, Invocations: 0, Counts: zero},
+		"saturated":    {Handler: p.Name, Invocations: 1, Counts: sat},
+		"inconsistent": {Handler: p.Name, Invocations: ^uint64(0), Counts: incons},
+		"nil-counts":   {Handler: p.Name, Invocations: 3, Counts: nil},
+	}
+}
+
+func TestThreeWayRegistry(t *testing.T) {
+	modes := map[string]sandbox.BudgetMode{
+		"timer":    sandbox.BudgetTimer,
+		"software": sandbox.BudgetSoftware,
+	}
+	for _, e := range crl.Library() {
+		for mname, mode := range modes {
+			cfg := sandbox.DiffConfig{
+				Budget: mode, Rounds: 6, Msg: e.Msg, Setup: e.Setup,
+			}
+			t.Run(e.Name+"/"+mname+"/measured", func(t *testing.T) {
+				out, err := sandbox.ThreeWay(e.Prog, nil, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.FaultRounds != 0 {
+					t.Fatalf("registry handler faulted: %+v", out)
+				}
+			})
+			for pname, prof := range adversarialProfiles(e.Prog) {
+				t.Run(e.Name+"/"+mname+"/"+pname, func(t *testing.T) {
+					if _, err := sandbox.ThreeWay(e.Prog, prof, cfg); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			// Starved budgets: equivalence is off the table (the coarse
+			// drain faults earlier than per-iteration checks), confinement
+			// is not.
+			if mode == sandbox.BudgetSoftware {
+				t.Run(e.Name+"/starved", func(t *testing.T) {
+					scfg := cfg
+					scfg.ConfinementOnly = true
+					for _, b := range []int64{5, 25, 60, 120} {
+						scfg.InsnBudget = b
+						if _, err := sandbox.ThreeWay(e.Prog, nil, scfg); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReoptActuallyImproves pins the profitability the reopt experiment
+// reports: with a measured profile, the re-optimized variant runs
+// strictly fewer dynamic instructions than the statically optimized one
+// on the handlers built to expose each transform.
+func TestReoptActuallyImproves(t *testing.T) {
+	cases := []struct {
+		name string
+		mode sandbox.BudgetMode
+	}{
+		// Message-carried modulus: only the profile can hoist the per-word
+		// divide check out of the loop.
+		{"crl-shard-counter", sandbox.BudgetTimer},
+		// Multi-block copy loop: only the profile-guided trip analysis can
+		// coarsen the per-iteration budget checks.
+		{"crl-write-sparse", sandbox.BudgetSoftware},
+	}
+	byName := map[string]crl.LibraryEntry{}
+	for _, e := range crl.Library() {
+		byName[e.Name] = e
+	}
+	for _, tc := range cases {
+		e, ok := byName[tc.name]
+		if !ok {
+			t.Fatalf("registry lost handler %s", tc.name)
+		}
+		out, err := sandbox.ThreeWay(e.Prog, nil, sandbox.DiffConfig{
+			Budget: tc.mode, Rounds: 4, Msg: e.Msg, Setup: e.Setup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ReoptInsns >= out.OptInsns {
+			t.Errorf("%s: reopt %d insns, statically optimized %d — no win",
+				tc.name, out.ReoptInsns, out.OptInsns)
+		}
+	}
+}

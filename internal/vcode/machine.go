@@ -101,6 +101,12 @@ type Machine struct {
 	Cycles sim.Time
 	Insns  int64
 
+	// PCCounts, when non-nil, accumulates per-pc execution counts across
+	// runs (indices are post-instrumentation; the DCG loop maps them back
+	// through JmpTable). Left nil on hot paths so profiling costs nothing
+	// when disabled.
+	PCCounts []uint64
+
 	// CheckBudgetOnBranch simulates the "software checks at all backward
 	// jump locations" strategy (Section III-B3) when the sandboxer has
 	// inserted OpChkBudget instructions; the timer strategy instead uses
@@ -154,6 +160,9 @@ func (m *Machine) Run(prog *Program) *Fault {
 			return fault(FaultBadJump, pc, 0)
 		}
 		in := &code[pc]
+		if m.PCCounts != nil && pc < len(m.PCCounts) {
+			m.PCCounts[pc]++
+		}
 		m.Insns++
 		m.Cycles += sim.Time(m.Prof.ALUOp) // base issue cost; memory adds below
 		if m.InsnBudget > 0 && m.Insns > m.InsnBudget {

@@ -1,0 +1,71 @@
+package reopt
+
+import (
+	"ashs/internal/vcode"
+	"ashs/internal/vcode/analysis"
+)
+
+// Decisions is the output of Plan: which statically-legal transformations
+// the profile marks as worth applying. The instrumenter treats every
+// entry as a *suggestion* — it re-derives the soundness conditions itself
+// before acting — so Decisions built from a corrupt or adversarial profile
+// can change which sound transforms fire, never introduce an unsound one.
+type Decisions struct {
+	// HotLoops marks loop headers (by original start pc) whose observed
+	// execution count crossed the hotness threshold. The instrumenter
+	// consults it before multi-block budget coarsening.
+	HotLoops map[int]bool
+
+	// HotDivs marks OpDivU/OpRemU sites (by original pc) observed hot.
+	// The instrumenter consults it before hoisting a loop-invariant
+	// divide check into the loop preheader.
+	HotDivs map[int]bool
+}
+
+// Hot reports whether any transformation site survived the hotness filter.
+func (d *Decisions) Hot() bool {
+	return d != nil && (len(d.HotLoops) > 0 || len(d.HotDivs) > 0)
+}
+
+// Plan derives re-optimization decisions for p from an observed profile.
+// It rebuilds the CFG and loop nest itself (deterministic for a given
+// program), then keeps only sites that are plausible transformation
+// candidates *and* hot under prof:
+//
+//   - a loop header is hot when its first instruction's count reaches
+//     HotTrips — a proxy for "the loop actually iterated";
+//   - a divide is hot when it executed HotTrips times and sits inside a
+//     loop (hoisting a divide that runs once per invocation saves
+//     nothing).
+//
+// Programs with indirect jumps get an empty plan: the optimizing
+// instrumenter refuses them, so there is nothing to decide.
+func Plan(p *vcode.Program, prof *Profile) *Decisions {
+	dec := &Decisions{HotLoops: map[int]bool{}, HotDivs: map[int]bool{}}
+	if p == nil || len(p.Insns) == 0 || prof == nil {
+		return dec
+	}
+	c := analysis.Build(p)
+	if c.HasIndirect {
+		return dec
+	}
+	dom := c.Dominators()
+	loops := c.NaturalLoops(dom)
+	for li := range loops {
+		l := &loops[li]
+		header := c.Blocks[l.Header].Start
+		if prof.Hot(header) {
+			dec.HotLoops[header] = true
+		}
+		for _, bi := range l.Blocks {
+			b := &c.Blocks[bi]
+			for pc := b.Start; pc < b.End; pc++ {
+				in := p.Insns[pc]
+				if (in.Op == vcode.OpDivU || in.Op == vcode.OpRemU) && prof.Hot(pc) {
+					dec.HotDivs[pc] = true
+				}
+			}
+		}
+	}
+	return dec
+}
